@@ -1,0 +1,289 @@
+package specchar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specchar/internal/characterize"
+	"specchar/internal/dataset"
+	"specchar/internal/mtree"
+	"specchar/internal/phasedet"
+	"specchar/internal/suites"
+	"specchar/internal/tables"
+	"specchar/internal/uarch"
+)
+
+// BenchmarkReport renders the per-benchmark characterization the paper's
+// Sections IV-B and V-B give in prose: CPI versus the suite, the linear
+// models the benchmark concentrates in (with their equations), the event
+// densities in which it deviates most from the suite average, and its
+// nearest and farthest suite-mates.
+func (s *Study) BenchmarkReport(suiteName, benchName string) (string, error) {
+	var d *dataset.Dataset
+	var tree *mtree.Tree
+	switch suiteName {
+	case "cpu2006":
+		d, tree = s.CPU, s.CPUTree
+	case "omp2001":
+		d, tree = s.OMP, s.OMPTree
+	default:
+		return "", fmt.Errorf("specchar: unknown suite %q", suiteName)
+	}
+	sub := d.FilterLabel(benchName)
+	if sub.Len() == 0 {
+		return "", fmt.Errorf("specchar: benchmark %q not in %s", benchName, suiteName)
+	}
+
+	var b strings.Builder
+	benchSum, err := sub.Summary()
+	if err != nil {
+		return "", err
+	}
+	suiteSum, err := d.Summary()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%s (%s)\n", benchName, suiteName)
+	fmt.Fprintf(&b, "  samples: %d   CPI: %.3f (suite %.3f, %+.0f%%)\n\n",
+		sub.Len(), benchSum.Mean, suiteSum.Mean, 100*(benchSum.Mean/suiteSum.Mean-1))
+
+	// Leaf-model concentration.
+	profile, err := characterize.ProfileOf(tree, sub, benchName)
+	if err != nil {
+		return "", err
+	}
+	type lmShare struct {
+		leaf  int
+		share float64
+	}
+	var lms []lmShare
+	for i, share := range profile.Shares {
+		if share >= 0.05 {
+			lms = append(lms, lmShare{i + 1, share})
+		}
+	}
+	sort.Slice(lms, func(i, j int) bool { return lms[i].share > lms[j].share })
+	b.WriteString("  behaviour classes (leaf models holding >= 5% of samples):\n")
+	for _, lm := range lms {
+		leaf := tree.Leaves()[lm.leaf-1]
+		fmt.Fprintf(&b, "    LM%-3d %5.1f%%  class CPI %.2f  %s\n",
+			lm.leaf, 100*lm.share, leaf.MeanY,
+			leaf.Model.Equation(tree.Schema.Response, tree.Schema.Attributes))
+	}
+
+	// Event-density deviations from the suite average.
+	b.WriteString("\n  distinguishing events (benchmark density vs suite density):\n")
+	type deviation struct {
+		name         string
+		bench, suite float64
+		ratio        float64
+	}
+	var devs []deviation
+	for j, name := range d.Schema.Attributes {
+		var bSum, sSum float64
+		for _, smp := range sub.Samples {
+			bSum += smp.X[j]
+		}
+		for _, smp := range d.Samples {
+			sSum += smp.X[j]
+		}
+		bMean := bSum / float64(sub.Len())
+		sMean := sSum / float64(d.Len())
+		if sMean < 1e-6 && bMean < 1e-6 {
+			continue
+		}
+		ratio := (bMean + 1e-9) / (sMean + 1e-9)
+		devs = append(devs, deviation{name, bMean, sMean, ratio})
+	}
+	// Elevated events first (what the benchmark exercises hardest), then
+	// depressed/absent ones (what it lacks relative to the suite).
+	sort.Slice(devs, func(i, j int) bool { return devs[i].ratio > devs[j].ratio })
+	t := tables.New("event", "benchmark", "suite", "ratio")
+	addRows := func(list []deviation) {
+		for _, dv := range list {
+			t.AddRow("    "+dv.name,
+				fmt.Sprintf("%.5f", dv.bench),
+				fmt.Sprintf("%.5f", dv.suite),
+				fmt.Sprintf("%.2fx", dv.ratio))
+		}
+	}
+	top := 3
+	if top > len(devs) {
+		top = len(devs)
+	}
+	addRows(devs[:top])
+	if len(devs) > top {
+		bottom := devs[len(devs)-top:]
+		addRows(bottom)
+	}
+	b.WriteString(t.String())
+
+	// Nearest and farthest suite-mates.
+	profiles, err := characterize.SuiteProfiles(tree, d)
+	if err != nil {
+		return "", err
+	}
+	type neighbour struct {
+		name string
+		d    float64
+	}
+	var ns []neighbour
+	for _, p := range profiles[:len(profiles)-2] {
+		if p.Name == benchName {
+			continue
+		}
+		ns = append(ns, neighbour{p.Name, characterize.Distance(profile, p)})
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].d < ns[j].d })
+	if len(ns) > 0 {
+		fmt.Fprintf(&b, "\n  most similar:    %s (%.1f%%)", ns[0].name, 100*ns[0].d)
+		if len(ns) > 1 {
+			fmt.Fprintf(&b, ", %s (%.1f%%)", ns[1].name, 100*ns[1].d)
+		}
+		fmt.Fprintf(&b, "\n  most dissimilar: %s (%.1f%%)\n", ns[len(ns)-1].name, 100*ns[len(ns)-1].d)
+	}
+	return b.String(), nil
+}
+
+// ImportanceReport renders the permutation variable importance of both
+// suite trees — the quantitative answer to the paper's "how much
+// performance change can be attributed to each event?" (Section I),
+// complementing the qualitative split-position reading.
+func (s *Study) ImportanceReport(rounds int) (string, error) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	var b strings.Builder
+	for _, entry := range []struct {
+		name string
+		tree *mtree.Tree
+		d    *dataset.Dataset
+	}{
+		{"SPEC CPU2006", s.CPUTree, s.CPU},
+		{"SPEC OMP2001", s.OMPTree, s.OMP},
+	} {
+		imp := entry.tree.PermutationImportance(entry.d, rounds, s.Config.SplitSeed)
+		fmt.Fprintf(&b, "%s: permutation importance (MAE increase when the event is scrambled)\n\n", entry.name)
+		t := tables.New("rank", "event", "dMAE (cycles/instr)")
+		for i, ai := range imp {
+			if i >= 10 {
+				break
+			}
+			t.AddRow(fmt.Sprintf("%d", i+1), ai.Name, fmt.Sprintf("%.4f", ai.MAEIncrease))
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// PhaseReport validates phase detection (internal/phasedet) against the
+// generator's ground truth: every benchmark's samples are emitted phase
+// by phase, so the true phase label of each interval is known. For each
+// CPU2006 benchmark with at least two phases the report compares the
+// detected segment structure against the truth with a Rand-style
+// agreement score.
+func (s *Study) PhaseReport() (string, error) {
+	cpu, omp := Suites()
+	var b strings.Builder
+	for _, entry := range []struct {
+		suite *suites.Suite
+		data  *dataset.Dataset
+	}{{cpu, s.CPU}, {omp, s.OMP}} {
+		fmt.Fprintf(&b, "phase detection vs generator ground truth (%s)\n\n", entry.suite.Name)
+		t := tables.New("benchmark", "true phases", "detected", "boundaries", "agreement")
+		var agSum float64
+		var agN int
+		for i := range entry.suite.Benchmarks {
+			bench := &entry.suite.Benchmarks[i]
+			sub := entry.data.FilterLabel(bench.Name)
+			truth := suites.PhaseLabels(bench, s.Config.Gen)
+			if sub.Len() != len(truth) || sub.Len() < 40 {
+				continue
+			}
+			distinctTrue := 0
+			seen := map[int]bool{}
+			for _, l := range truth {
+				if !seen[l] {
+					seen[l] = true
+					distinctTrue++
+				}
+			}
+			res, err := phasedet.Detect(sub.Xs(), phasedet.Options{})
+			if err != nil {
+				continue
+			}
+			ag, err := phasedet.Agreement(res, truth)
+			if err != nil {
+				return "", err
+			}
+			agSum += ag
+			agN++
+			t.AddRow(bench.Name,
+				fmt.Sprintf("%d", distinctTrue),
+				fmt.Sprintf("%d", res.NumPhases),
+				fmt.Sprintf("%d", len(res.Boundaries)),
+				fmt.Sprintf("%.2f", ag))
+		}
+		b.WriteString(t.String())
+		if agN > 0 {
+			fmt.Fprintf(&b, "\nmean agreement: %.3f over %d benchmarks\n\n", agSum/float64(agN), agN)
+		}
+	}
+	return b.String(), nil
+}
+
+// CPIStackReport renders the exact cycle-attribution breakdown of every
+// CPU2006 benchmark: the simulator's ground-truth answer to "which
+// mechanism costs each benchmark its cycles", against which the paper's
+// counter-correlation models can be judged. Components below 1% across
+// the board are omitted.
+func (s *Study) CPIStackReport() (string, error) {
+	cpu, omp := Suites()
+	type row struct {
+		name   string
+		cpi    float64
+		shares [uarch.NumStackComponents]float64
+	}
+	var rows []row
+	cfg := s.CoreConfig()
+	for _, suite := range []*suites.Suite{cpu, omp} {
+		for i := range suite.Benchmarks {
+			b := &suite.Benchmarks[i]
+			stack, cpi, err := StackOf(b, cfg, s.Config.Gen.Seed)
+			if err != nil {
+				return "", err
+			}
+			rows = append(rows, row{b.Name, cpi, stack.Shares()})
+		}
+	}
+	// Columns: components that reach 2% somewhere.
+	var keep []uarch.StackComponent
+	for c := uarch.StackComponent(0); c < uarch.NumStackComponents; c++ {
+		for _, r := range rows {
+			if r.shares[c] >= 0.02 {
+				keep = append(keep, c)
+				break
+			}
+		}
+	}
+	headers := []string{"benchmark", "CPI"}
+	for _, c := range keep {
+		headers = append(headers, c.Name())
+	}
+	t := tables.New(headers...)
+	for _, r := range rows {
+		cells := []string{r.name, fmt.Sprintf("%.2f", r.cpi)}
+		for _, c := range keep {
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*r.shares[c]))
+		}
+		t.AddRow(cells...)
+	}
+	return "CPI stacks (exact cycle attribution, SPEC CPU2006 + SPEC OMP2001)\n\n" + t.String(), nil
+}
+
+// StackOf computes one benchmark's CPI stack at report scale.
+func StackOf(b *suites.Benchmark, cfg uarch.Config, seed uint64) (uarch.CPIStack, float64, error) {
+	return suites.StackProfile(b, cfg, 60000, 20000, seed)
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates every table and figure of the paper in
+// one run.
+//
+// Usage:
+//
+//	experiments [-exp all|table1,figure1,...] [-quick] [-o out.txt]
+//
+// With no flags it runs the full battery at paper scale (tens of seconds)
+// and prints to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"specchar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+strings.Join(specchar.Experiments(), ", ")+")")
+		quickFlag = flag.Bool("quick", false, "reduced-scale run (fast, noisier)")
+		outFlag   = flag.String("o", "", "write the report to this file instead of stdout")
+		seedFlag  = flag.Uint64("seed", 0, "override the data-generation seed (0 keeps the default)")
+		dotDir    = flag.String("dotdir", "", "also write figure1.dot / figure2.dot Graphviz files to this directory")
+	)
+	flag.Parse()
+
+	cfg := specchar.DefaultConfig()
+	if *quickFlag {
+		cfg = specchar.QuickConfig()
+	}
+	if *seedFlag != 0 {
+		cfg.Gen.Seed = *seedFlag
+	}
+
+	ids := specchar.Experiments()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	start := time.Now()
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "specchar experiment run (%d CPU2006 samples, %d OMP2001 samples; setup %.1fs)\n\n",
+		study.CPU.Len(), study.OMP.Len(), time.Since(start).Seconds())
+	for _, id := range ids {
+		report, err := study.Run(strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "==================== %s ====================\n\n%s\n", id, report)
+	}
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for name, dot := range map[string]string{
+			"figure1.dot": study.CPUTree.RenderDot("Figure 1: SPEC CPU2006 model tree"),
+			"figure2.dot": study.OMPTree.RenderDot("Figure 2: SPEC OMP2001 model tree"),
+		} {
+			path := *dotDir + "/" + name
+			if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+}

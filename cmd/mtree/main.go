@@ -1,0 +1,155 @@
+// Command mtree is a standalone M5' model-tree tool: it trains a tree on
+// any CSV or ARFF dataset (the formats written by specchar datagen, or
+// hand-made ones), prints the induced tree and leaf models, and optionally
+// evaluates prediction accuracy on a held-out file or split.
+//
+// Usage:
+//
+//	mtree -data suite.csv [-test held.csv | -holdout 0.3]
+//	      [-minleaf 4] [-maxdepth 0] [-noprune] [-nosmooth] [-splits]
+//
+// The dataset format: first column "label", last column the response,
+// numeric predictors between (see internal/dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"specchar/internal/dataset"
+	"specchar/internal/metrics"
+	"specchar/internal/mtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtree: ")
+	var (
+		dataFlag    = flag.String("data", "", "training dataset (CSV or ARFF; required)")
+		testFlag    = flag.String("test", "", "held-out dataset for accuracy evaluation")
+		holdoutFlag = flag.Float64("holdout", 0, "fraction of -data held out for evaluation (alternative to -test)")
+		minLeaf     = flag.Int("minleaf", 4, "minimum samples per leaf branch")
+		maxDepth    = flag.Int("maxdepth", 0, "maximum tree depth (0 = unlimited)")
+		noPrune     = flag.Bool("noprune", false, "disable subtree pruning")
+		noSmooth    = flag.Bool("nosmooth", false, "disable leaf-to-root smoothing")
+		splitsFlag  = flag.Bool("splits", false, "also print the per-attribute SDR ranking")
+		dotFlag     = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
+		saveFlag    = flag.String("save", "", "write the trained tree as JSON to this file")
+		loadFlag    = flag.String("load", "", "load a trained tree from JSON instead of training")
+		cvFlag      = flag.Int("cv", 0, "also run k-fold cross-validation (0 = off)")
+		seedFlag    = flag.Uint64("seed", 1, "seed for -holdout splitting and -cv folds")
+	)
+	flag.Parse()
+	if *dataFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	train, err := readDataset(*dataFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var test *dataset.Dataset
+	switch {
+	case *testFlag != "":
+		if test, err = readDataset(*testFlag); err != nil {
+			log.Fatal(err)
+		}
+	case *holdoutFlag > 0 && *holdoutFlag < 1:
+		train, test = train.Split(dataset.NewRNG(*seedFlag), 1-*holdoutFlag)
+	}
+
+	opts := mtree.DefaultOptions()
+	opts.MinLeaf = *minLeaf
+	opts.MaxDepth = *maxDepth
+	opts.Prune = !*noPrune
+	opts.Smooth = !*noSmooth
+
+	var tree *mtree.Tree
+	if *loadFlag != "" {
+		f, err := os.Open(*loadFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err = mtree.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = tree.Opts
+	} else {
+		var err error
+		tree, err = mtree.Build(train, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveFlag != "" {
+		f, err := os.Create(*saveFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("trained on %d samples (%d attributes): %d leaf models, depth %d\n\n",
+		train.Len(), train.Schema.NumAttrs(), tree.NumLeaves(), tree.Depth())
+	fmt.Print(tree.Render())
+	fmt.Println()
+	fmt.Print(tree.RenderModels())
+
+	if *splitsFlag {
+		fmt.Println()
+		fmt.Println("per-attribute SDR ranking over the training set:")
+		for i, c := range mtree.EvaluateSplits(train, opts) {
+			if !c.Valid {
+				continue
+			}
+			fmt.Printf("  %2d. %-12s threshold=%.6g SDR=%.5f\n", i+1, c.Name, c.Threshold, c.SDR)
+		}
+	}
+
+	if test != nil && test.Len() > 0 {
+		rep, err := metrics.Compute(tree.PredictDataset(test), test.Ys())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nheld-out accuracy (%d samples): %s\n", test.Len(), rep)
+	}
+
+	if *cvFlag > 1 {
+		cv, err := mtree.CrossValidate(train, *cvFlag, opts, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", cv)
+	}
+
+	if *dotFlag != "" {
+		if err := os.WriteFile(*dotFlag, []byte(tree.RenderDot("M5' model tree")), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Graphviz tree to %s (render with: dot -Tsvg %s -o tree.svg)\n", *dotFlag, *dotFlag)
+	}
+}
+
+// readDataset loads a CSV or ARFF file, deciding by extension then
+// falling back to content sniffing.
+func readDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".arff") {
+		return dataset.ReadARFF(f)
+	}
+	return dataset.ReadCSV(f)
+}

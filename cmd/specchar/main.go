@@ -1,0 +1,357 @@
+// Command specchar is the study driver: it generates synthetic SPEC
+// CPU2006 / SPEC OMP2001 datasets, trains M5' model trees over them, and
+// runs the paper's characterization and transferability analyses.
+//
+// Usage:
+//
+//	specchar events
+//	specchar datagen      -suite cpu2006|omp2001 [-o file] [-format csv|arff] [-quick] [-seed N]
+//	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N]
+//	specchar characterize -suite cpu2006|omp2001 [-quick]
+//	specchar transfer     [-quick]
+//
+// For the full per-table/per-figure reproduction, see cmd/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"specchar"
+	"specchar/internal/characterize"
+	"specchar/internal/mtree"
+	"specchar/internal/suites"
+	"specchar/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specchar: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "events":
+		fmt.Print(specchar.Table1())
+	case "datagen":
+		err = runDatagen(args)
+	case "tree":
+		err = runTree(args)
+	case "characterize":
+		err = runCharacterize(args)
+	case "transfer":
+		err = runTransfer(args)
+	case "subset":
+		err = runSubset(args)
+	case "compare":
+		err = runCompare(args)
+	case "bench":
+		err = runBench(args)
+	case "importance":
+		err = runStudyReport(args, func(st *specchar.Study) (string, error) { return st.ImportanceReport(3) })
+	case "phases":
+		err = runStudyReport(args, (*specchar.Study).PhaseReport)
+	case "cpistack":
+		err = runStudyReport(args, (*specchar.Study).CPIStackReport)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: specchar <command> [flags]
+
+commands:
+  events        print the PMU event catalog (the paper's Table I)
+  datagen       generate a suite dataset to CSV or ARFF
+  tree          generate a suite dataset and print its M5' model tree
+  characterize  print the per-benchmark linear-model distribution and similarity
+  transfer      run the four transferability assessments of Section VI
+  subset        select a representative benchmark subset (PCA + clustering)
+  compare       compare M5' against linear/kNN/MLP baselines (paper ref [15])
+  bench         per-benchmark characterization report (CPI, classes, events, neighbours)
+  importance    permutation variable importance for both suite trees
+  phases        phase detection validated against generator ground truth
+  cpistack      exact per-benchmark cycle attribution
+
+run 'specchar <command> -h' for command flags`)
+	os.Exit(2)
+}
+
+// suiteByName resolves a -suite flag value.
+func suiteByName(name string) (*suites.Suite, error) {
+	switch name {
+	case "cpu2006":
+		return suites.CPU2006(), nil
+	case "omp2001":
+		return suites.OMP2001(), nil
+	}
+	return nil, fmt.Errorf("unknown suite %q (want cpu2006 or omp2001)", name)
+}
+
+func genOptions(quick bool, seed uint64) suites.GenOptions {
+	opts := suites.DefaultGenOptions()
+	if quick {
+		opts.SamplesPerBenchmark = 40
+		opts.OpsPerWindow = 512
+		opts.WarmupOps = 8000
+	}
+	if seed != 0 {
+		opts.Seed = seed
+	}
+	return opts
+}
+
+func runDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "cpu2006", "suite to generate (cpu2006|omp2001)")
+	outFlag := fs.String("o", "", "output file (default stdout)")
+	formatFlag := fs.String("format", "csv", "output format (csv|arff)")
+	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
+	seedFlag := fs.Uint64("seed", 0, "generation seed override")
+	statsFlag := fs.Bool("stats", false, "print per-attribute summary statistics to stderr")
+	fs.Parse(args)
+
+	s, err := suiteByName(*suiteFlag)
+	if err != nil {
+		return err
+	}
+	d, err := suites.Generate(s, genOptions(*quickFlag, *seedFlag))
+	if err != nil {
+		return err
+	}
+	if *statsFlag {
+		sums, err := d.AttrSummaries()
+		if err != nil {
+			return err
+		}
+		t := tables.New("attribute", "mean", "sd", "min", "max")
+		for j, su := range sums {
+			t.AddRow(d.Schema.Attributes[j],
+				fmt.Sprintf("%.6f", su.Mean), fmt.Sprintf("%.6f", su.StdDev),
+				fmt.Sprintf("%.6f", su.Min), fmt.Sprintf("%.6f", su.Max))
+		}
+		resp, _ := d.Summary()
+		fmt.Fprintf(os.Stderr, "%s: %d samples, %s mean %.4f sd %.4f\n\n%s\n",
+			s.Name, d.Len(), d.Schema.Response, resp.Mean, resp.StdDev, t)
+	}
+	out := os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *formatFlag {
+	case "csv":
+		return d.WriteCSV(out)
+	case "arff":
+		return d.WriteARFF(out, s.Name)
+	}
+	return fmt.Errorf("unknown format %q", *formatFlag)
+}
+
+func runTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2006|omp2001)")
+	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
+	minLeaf := fs.Int("minleaf", 35, "minimum samples per leaf branch")
+	seedFlag := fs.Uint64("seed", 0, "generation seed override")
+	fs.Parse(args)
+
+	s, err := suiteByName(*suiteFlag)
+	if err != nil {
+		return err
+	}
+	d, err := suites.Generate(s, genOptions(*quickFlag, *seedFlag))
+	if err != nil {
+		return err
+	}
+	opts := mtree.DefaultOptions()
+	opts.MinLeaf = *minLeaf
+	tree, err := mtree.Build(d, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d samples, %d leaf models, depth %d\n\n", s.Name, d.Len(), tree.NumLeaves(), tree.Depth())
+	fmt.Print(tree.Render())
+	fmt.Println()
+	fmt.Print(tree.RenderModels())
+	fmt.Println()
+	fmt.Print(tree.RenderSplitSummary())
+	return nil
+}
+
+func runCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "cpu2006", "suite to characterize (cpu2006|omp2001)")
+	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
+	pairs := fs.Int("pairs", 5, "closest/farthest pairs to list")
+	fs.Parse(args)
+
+	s, err := suiteByName(*suiteFlag)
+	if err != nil {
+		return err
+	}
+	d, err := suites.Generate(s, genOptions(*quickFlag, 0))
+	if err != nil {
+		return err
+	}
+	opts := mtree.DefaultOptions()
+	opts.MinLeaf = 35
+	if *quickFlag {
+		opts.MinLeaf = 10
+	}
+	tree, err := mtree.Build(d, opts)
+	if err != nil {
+		return err
+	}
+	profiles, err := characterize.SuiteProfiles(tree, d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: sample distribution across linear models by benchmark\n\n", s.Name)
+	fmt.Print(characterize.RenderDistribution(profiles, 0.20))
+	bench := profiles[:len(profiles)-2] // drop Suite and Average rows
+	m := characterize.Similarity(bench)
+	fmt.Printf("\nmost similar pairs:\n")
+	for _, p := range m.ClosestPairs(*pairs) {
+		fmt.Printf("  %-20s vs %-20s %5.1f%%\n", p.A, p.B, 100*p.Distance)
+	}
+	fmt.Printf("most dissimilar pairs:\n")
+	for _, p := range m.FarthestPairs(*pairs) {
+		fmt.Printf("  %-20s vs %-20s %5.1f%%\n", p.A, p.B, 100*p.Distance)
+	}
+	return nil
+}
+
+func runTransfer(args []string) error {
+	fs := flag.NewFlagSet("transfer", flag.ExitOnError)
+	quickFlag := fs.Bool("quick", false, "reduced-scale run")
+	fs.Parse(args)
+
+	cfg := specchar.DefaultConfig()
+	if *quickFlag {
+		cfg = specchar.QuickConfig()
+	}
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	for _, dir := range specchar.Directions() {
+		a, err := study.AssessTransfer(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a)
+	}
+	return nil
+}
+
+func runSubset(args []string) error {
+	fs := flag.NewFlagSet("subset", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "cpu2006", "suite to subset (cpu2006|omp2001)")
+	kFlag := fs.Int("k", 0, "number of representatives (0 = silhouette-selected)")
+	quickFlag := fs.Bool("quick", false, "reduced-scale run")
+	fs.Parse(args)
+
+	cfg := specchar.DefaultConfig()
+	if *quickFlag {
+		cfg = specchar.QuickConfig()
+	}
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	r, err := study.SelectSubset(*suiteFlag, *kFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r)
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	quickFlag := fs.Bool("quick", false, "reduced-scale run")
+	fs.Parse(args)
+
+	cfg := specchar.DefaultConfig()
+	if *quickFlag {
+		cfg = specchar.QuickConfig()
+	}
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	report, err := study.ModelComparisonReport()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "cpu2006", "suite (cpu2006|omp2001)")
+	nameFlag := fs.String("name", "", "benchmark name, e.g. 429.mcf (empty = all)")
+	quickFlag := fs.Bool("quick", false, "reduced-scale run")
+	fs.Parse(args)
+
+	cfg := specchar.DefaultConfig()
+	if *quickFlag {
+		cfg = specchar.QuickConfig()
+	}
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	names := []string{*nameFlag}
+	if *nameFlag == "" {
+		d := study.CPU
+		if *suiteFlag == "omp2001" {
+			d = study.OMP
+		}
+		names = d.Labels()
+	}
+	for _, name := range names {
+		report, err := study.BenchmarkReport(*suiteFlag, name)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	return nil
+}
+
+// runStudyReport builds a study at the requested scale and prints one
+// report function's output.
+func runStudyReport(args []string, report func(*specchar.Study) (string, error)) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	quickFlag := fs.Bool("quick", false, "reduced-scale run")
+	fs.Parse(args)
+	cfg := specchar.DefaultConfig()
+	if *quickFlag {
+		cfg = specchar.QuickConfig()
+	}
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	out, err := report(study)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

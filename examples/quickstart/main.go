@@ -1,0 +1,43 @@
+// Quickstart: generate a (reduced-scale) synthetic SPEC CPU2006 dataset,
+// train an M5' model tree on it, inspect the tree, and predict the CPI of
+// a fresh sample — the minimal end-to-end path through the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specchar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// QuickConfig trades statistical fidelity for speed (~1-2s); use
+	// DefaultConfig for paper-scale runs.
+	study, err := specchar.NewStudy(specchar.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generated %d SPEC CPU2006 samples across %d benchmarks\n",
+		study.CPU.Len(), len(study.CPU.Labels()))
+	sum, err := study.CPU.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite CPI: mean %.2f, sd %.2f, range [%.2f, %.2f]\n\n",
+		sum.Mean, sum.StdDev, sum.Min, sum.Max)
+
+	tree := study.CPUTree
+	fmt.Printf("M5' model tree: %d leaf linear models, depth %d\n", tree.NumLeaves(), tree.Depth())
+	fmt.Printf("most discriminating performance factor: %s\n\n",
+		study.CPU.Schema.Attributes[tree.Root.Attr])
+
+	// Predict the CPI of one held-back interval and compare.
+	sample := study.CPU.Samples[study.CPU.Len()/2]
+	leaf := tree.Classify(sample.X)
+	fmt.Printf("sample from %s classifies into LM%d (class mean CPI %.2f)\n",
+		sample.Label, leaf.LeafID, leaf.MeanY)
+	fmt.Printf("predicted CPI %.3f, actual %.3f\n", tree.Predict(sample.X), sample.Y)
+}

@@ -1,0 +1,46 @@
+// Subsetting: the benchmark-reduction use case the paper's related work
+// surveys (PCA + clustering, refs [11]-[14] of the paper) run against the
+// same synthetic suites, validated with the paper's own model-tree
+// characterization: a good subset's pooled leaf-model profile stays close
+// to the full suite's.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"specchar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := specchar.QuickConfig()
+	if len(os.Args) > 1 && os.Args[1] == "-full" {
+		cfg = specchar.DefaultConfig()
+	}
+	study, err := specchar.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Automatic k (silhouette-selected within the literature's range).
+	r, err := study.SelectSubset("cpu2006", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+
+	// A fixed small budget: "I can only afford to simulate 6 benchmarks."
+	r6, err := study.SelectSubset("cpu2006", 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("with a budget of 6 benchmarks:")
+	for _, rep := range r6.Representatives {
+		fmt.Printf("  %s\n", rep)
+	}
+	fmt.Printf("profile distance to full suite: %.1f%% (naive first-6: %.1f%%)\n",
+		100*r6.SubsetProfileDistance, 100*r6.NaiveProfileDistance)
+}

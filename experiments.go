@@ -1,0 +1,256 @@
+package specchar
+
+import (
+	"fmt"
+	"strings"
+
+	"specchar/internal/characterize"
+	"specchar/internal/mtree"
+	"specchar/internal/pmu"
+	"specchar/internal/suites"
+	"specchar/internal/tables"
+	"specchar/internal/transfer"
+)
+
+// Experiment identifiers, one per table/figure of the paper plus the
+// ablations documented in DESIGN.md.
+const (
+	ExpTable1     = "table1"      // Table I: event catalog
+	ExpFigure1    = "figure1"     // Figure 1: CPU2006 model tree + LM equations
+	ExpTable2     = "table2"      // Table II: CPU2006 per-benchmark LM distribution
+	ExpTable3     = "table3"      // Table III: CPU2006 similarity matrix
+	ExpFigure2    = "figure2"     // Figure 2: OMP2001 model tree + LM equations
+	ExpTable4     = "table4"      // Table IV: OMP2001 per-benchmark LM distribution
+	ExpTTestSelf  = "ttest-self"  // §VI-A2a: CPU2006 -> CPU2006 hypothesis tests
+	ExpTTestCross = "ttest-cross" // §VI-A2b: CPU2006 -> OMP2001 hypothesis tests
+	ExpAccuracy   = "accuracy"    // §VI-B2: accuracy metrics, both directions
+	ExpReverse    = "reverse"     // §VI last ¶: OMP-trained model, both directions
+	ExpSweep      = "sweep"       // ablation A3: training-fraction sweep
+	ExpSubset     = "subset"      // extension: PCA+clustering representative subsetting
+	ExpModels     = "models"      // extension: regression-algorithm comparison (paper ref [15])
+	ExpImportance = "importance"  // extension: permutation variable importance per suite
+	ExpPhases     = "phases"      // extension: phase detection vs generator ground truth
+	ExpCPIStack   = "cpistack"    // extension: exact cycle attribution per benchmark
+	ExpPlatform   = "platform"    // extension: cross-platform transferability (paper §III caveat)
+	ExpNoise      = "noise"       // extension: measurement-noise robustness sweep
+	ExpLineage    = "lineage"     // extension: CPU2006 model on a synthetic CPU2000
+)
+
+// Experiments lists all experiment identifiers in paper order.
+func Experiments() []string {
+	return []string{ExpTable1, ExpFigure1, ExpTable2, ExpTable3, ExpFigure2,
+		ExpTable4, ExpTTestSelf, ExpTTestCross, ExpAccuracy, ExpReverse, ExpSweep,
+		ExpSubset, ExpModels, ExpImportance, ExpPhases, ExpCPIStack, ExpPlatform, ExpNoise, ExpLineage}
+}
+
+// Run executes one experiment by id and returns its rendered report.
+func (s *Study) Run(id string) (string, error) {
+	switch id {
+	case ExpTable1:
+		return Table1(), nil
+	case ExpFigure1:
+		return s.Figure1(), nil
+	case ExpTable2:
+		return s.Table2()
+	case ExpTable3:
+		return s.Table3()
+	case ExpFigure2:
+		return s.Figure2(), nil
+	case ExpTable4:
+		return s.Table4()
+	case ExpTTestSelf:
+		a, err := s.AssessTransfer("cpu->cpu")
+		if err != nil {
+			return "", err
+		}
+		return a.String(), nil
+	case ExpTTestCross:
+		a, err := s.AssessTransfer("cpu->omp")
+		if err != nil {
+			return "", err
+		}
+		return a.String(), nil
+	case ExpAccuracy:
+		return s.AccuracyReport()
+	case ExpReverse:
+		return s.ReverseReport()
+	case ExpSweep:
+		return s.SweepReport(nil)
+	case ExpSubset:
+		return s.SubsetReport()
+	case ExpModels:
+		return s.ModelComparisonReport()
+	case ExpImportance:
+		return s.ImportanceReport(3)
+	case ExpPhases:
+		return s.PhaseReport()
+	case ExpCPIStack:
+		return s.CPIStackReport()
+	case ExpPlatform:
+		return s.PlatformReport()
+	case ExpNoise:
+		return s.NoiseReport()
+	case ExpLineage:
+		return s.LineageReport()
+	}
+	return "", fmt.Errorf("specchar: unknown experiment %q", id)
+}
+
+// Table1 renders the paper's Table I: the CPU performance metrics used in
+// the study.
+func Table1() string {
+	t := tables.New("Metric", "PMU event (divided by instructions)", "Description")
+	t.AddRow("CPI", "CPU_CLK_UNHALTED.CORE", "CPU clock cycles per instruction (response)")
+	for _, e := range pmu.Catalog() {
+		t.AddRow(e.Name, e.PMUName, e.Description)
+	}
+	return "Table I: CPU performance metrics used in this study\n\n" + t.String()
+}
+
+// Figure1 renders the SPEC CPU2006 model tree with its leaf linear models
+// and split-importance summary (the paper's Figure 1 plus Equations 1-3).
+func (s *Study) Figure1() string {
+	return renderTreeFigure("Figure 1: SPEC CPU2006 model tree", s.CPUTree, s.CPU.Len())
+}
+
+// Figure2 renders the SPEC OMP2001 model tree (the paper's Figure 2 plus
+// Equations 5-7).
+func (s *Study) Figure2() string {
+	return renderTreeFigure("Figure 2: SPEC OMP2001 model tree", s.OMPTree, s.OMP.Len())
+}
+
+func renderTreeFigure(title string, tree *mtree.Tree, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d samples, %d leaf models, depth %d)\n\n",
+		title, n, tree.NumLeaves(), tree.Depth())
+	b.WriteString(tree.Render())
+	b.WriteString("\n")
+	b.WriteString(tree.RenderModels())
+	b.WriteString("\n")
+	b.WriteString(tree.RenderSplitSummary())
+	return b.String()
+}
+
+// Table2 renders the CPU2006 per-benchmark sample distribution over leaf
+// linear models (the paper's Table II; contributions >= 20% are starred,
+// standing in for the paper's bold).
+func (s *Study) Table2() (string, error) {
+	profiles, err := characterize.SuiteProfiles(s.CPUTree, s.CPU)
+	if err != nil {
+		return "", err
+	}
+	return "Table II: sample distribution across linear models by benchmark (SPEC CPU2006)\n\n" +
+		characterize.RenderDistribution(profiles, 0.20), nil
+}
+
+// Table4 renders the OMP2001 distribution (the paper's Table IV).
+func (s *Study) Table4() (string, error) {
+	profiles, err := characterize.SuiteProfiles(s.OMPTree, s.OMP)
+	if err != nil {
+		return "", err
+	}
+	return "Table IV: sample distribution across linear models by benchmark (SPEC OMP2001)\n\n" +
+		characterize.RenderDistribution(profiles, 0.20), nil
+}
+
+// Table3Names is the benchmark subset shown in the paper's Table III.
+var Table3Names = []string{
+	"429.mcf", "435.gromacs", "436.cactusADM", "444.namd", "447.dealII",
+	"454.calculix", "456.hmmer", "459.GemsFDTD", "464.h264ref", "470.lbm",
+	"473.astar", "482.sphinx3",
+}
+
+// Table3 renders the pairwise similarity matrix over the paper's Table III
+// subset plus the closest and farthest pairs across the whole suite.
+func (s *Study) Table3() (string, error) {
+	profiles, err := characterize.SuiteProfiles(s.CPUTree, s.CPU)
+	if err != nil {
+		return "", err
+	}
+	// Exclude the synthetic "Average" row from distance analysis, but
+	// keep "Suite" as the paper's last row does.
+	perBench := profiles[:len(profiles)-1]
+	m := characterize.Similarity(perBench)
+	var b strings.Builder
+	b.WriteString("Table III: pairwise benchmark difference (percent, Equation 4) — subset\n\n")
+	b.WriteString(m.RenderSimilarity(append(append([]string{}, Table3Names...), "Suite")))
+	b.WriteString("\nmost similar pairs:\n")
+	benchOnly := characterize.Similarity(perBench[:len(perBench)-1]) // drop "Suite" for pair ranking
+	for _, p := range benchOnly.ClosestPairs(5) {
+		fmt.Fprintf(&b, "  %-18s vs %-18s %5.1f%%\n", p.A, p.B, 100*p.Distance)
+	}
+	b.WriteString("most dissimilar pairs:\n")
+	for _, p := range benchOnly.FarthestPairs(5) {
+		fmt.Fprintf(&b, "  %-18s vs %-18s %5.1f%%\n", p.A, p.B, 100*p.Distance)
+	}
+	return b.String(), nil
+}
+
+// AccuracyReport renders the Section VI-B numbers: prediction-accuracy
+// metrics of the CPU2006 10% model on its own held-out set and on
+// OMP2001.
+func (s *Study) AccuracyReport() (string, error) {
+	var b strings.Builder
+	b.WriteString("Section VI-B: prediction accuracy metrics (CPU2006 10% model)\n\n")
+	for _, dir := range []string{"cpu->cpu", "cpu->omp"} {
+		a, err := s.AssessTransfer(dir)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s -> %s:\n  %s\n  acceptable (C>=%.2f, MAE<=%.2f): %v\n\n",
+			a.TrainName, a.TestName, a.Metrics.String(),
+			a.Thresholds.MinCorrelation, a.Thresholds.MaxMAE, a.MetricsTransferable())
+	}
+	return b.String(), nil
+}
+
+// ReverseReport renders the reverse-direction analysis the paper's last
+// paragraph of Section VI summarizes: the OMP2001 model is transferable to
+// held-out OMP2001 data and not to CPU2006.
+func (s *Study) ReverseReport() (string, error) {
+	var b strings.Builder
+	b.WriteString("Section VI (reverse direction): OMP2001 10% model\n\n")
+	for _, dir := range []string{"omp->omp", "omp->cpu"} {
+		a, err := s.AssessTransfer(dir)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(a.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// DefaultSweepFractions is the training-fraction grid of ablation A3.
+var DefaultSweepFractions = []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
+
+// SweepReport renders the training-fraction sweep over CPU2006 (ablation
+// A3, the support for the paper's "10% suffices" claim). nil fractions
+// means DefaultSweepFractions.
+func (s *Study) SweepReport(fractions []float64) (string, error) {
+	if fractions == nil {
+		fractions = DefaultSweepFractions
+	}
+	points, err := transfer.Sweep(s.CPU, fractions, s.Config.Tree, s.Config.SplitSeed)
+	if err != nil {
+		return "", err
+	}
+	t := tables.New("train fraction", "train n", "C", "MAE", "RMSE", "RAE")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", 100*p.Fraction),
+			fmt.Sprintf("%d", p.TrainN),
+			fmt.Sprintf("%.4f", p.Metrics.Correlation),
+			fmt.Sprintf("%.4f", p.Metrics.MAE),
+			fmt.Sprintf("%.4f", p.Metrics.RMSE),
+			fmt.Sprintf("%.4f", p.Metrics.RAE),
+		)
+	}
+	return "Ablation A3: CPU2006 training-fraction sweep (model accuracy on held-out remainder)\n\n" + t.String(), nil
+}
+
+// Suites returns the two synthetic suite definitions (for callers that
+// want to inspect or extend the benchmark inventory).
+func Suites() (cpu, omp *suites.Suite) {
+	return suites.CPU2006(), suites.OMP2001()
+}

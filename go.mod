@@ -1,0 +1,3 @@
+module specchar
+
+go 1.22

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader and
+// that anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("label,A,CPI\nbench,0.5,1.5\n")
+	f.Add("label,A,B,CPI\nx,1,2,3\ny,4,5,6\n")
+	f.Add("")
+	f.Add("label,CPI\n")
+	f.Add("label,A,CPI\nbench,not-a-number,1\n")
+	f.Add("label,A,CPI\n\"quoted,name\",1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if d2.Len() != d.Len() || d2.Schema.NumAttrs() != d.Schema.NumAttrs() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				d.Len(), d.Schema.NumAttrs(), d2.Len(), d2.Schema.NumAttrs())
+		}
+	})
+}
+
+// FuzzReadARFF checks the ARFF reader for panics and round-trip stability.
+func FuzzReadARFF(f *testing.F) {
+	f.Add("@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nb,1,2\n")
+	f.Add("% comment\n@relation x\n@attribute label string\n@attribute a numeric\n@attribute y numeric\n@data\n'q b',0,0\n")
+	f.Add("@DATA\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadARFF(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteARFF(&buf, "fuzz"); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		d2, err := ReadARFF(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", d.Len(), d2.Len())
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the dataset as CSV: a header row of "label, <attrs...>,
+// <response>" followed by one row per sample.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, d.Schema.Attributes...)
+	header = append(header, d.Schema.Response)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, s := range d.Samples {
+		row[0] = s.Label
+		for j, v := range s.X {
+			row[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-1] = strconv.FormatFloat(s.Y, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. The final column is the
+// response; the first is the label; everything between is a predictor.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("dataset: CSV needs at least label, one attribute, and a response; got %d columns", len(header))
+	}
+	if header[0] != "label" {
+		return nil, fmt.Errorf("dataset: first CSV column must be %q, got %q", "label", header[0])
+	}
+	schema := &Schema{
+		Response:   header[len(header)-1],
+		Attributes: append([]string(nil), header[1:len(header)-1]...),
+	}
+	d := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		s := Sample{Label: rec[0], X: make([]float64, len(rec)-2)}
+		for j := 1; j < len(rec)-1; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %d: %w", line, j+1, err)
+			}
+			s.X[j-1] = v
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d response: %w", line, err)
+		}
+		s.Y = y
+		if err := d.Append(s); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// WriteARFF writes the dataset in WEKA's ARFF format, the interchange
+// format of the package the paper used (M5' lives in WEKA). The label is
+// emitted as a string attribute, predictors and the response as numeric.
+func (d *Dataset) WriteARFF(w io.Writer, relation string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@RELATION %s\n\n", arffQuote(relation))
+	fmt.Fprintf(bw, "@ATTRIBUTE label string\n")
+	for _, a := range d.Schema.Attributes {
+		fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n", arffQuote(a))
+	}
+	fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n\n", arffQuote(d.Schema.Response))
+	fmt.Fprintln(bw, "@DATA")
+	for _, s := range d.Samples {
+		fmt.Fprintf(bw, "%s", arffQuote(s.Label))
+		for _, v := range s.X {
+			fmt.Fprintf(bw, ",%s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintf(bw, ",%s\n", strconv.FormatFloat(s.Y, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// ReadARFF parses the subset of ARFF emitted by WriteARFF: one string
+// label attribute followed by numeric attributes, the last of which is the
+// response. Comments (%) and blank lines are skipped; sparse ARFF is not
+// supported.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var names []string
+	var inData bool
+	var d *Dataset
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(text)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				// Relation name is informational only.
+			case strings.HasPrefix(lower, "@attribute"):
+				fields := strings.Fields(text)
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("dataset: ARFF line %d: malformed @ATTRIBUTE", line)
+				}
+				names = append(names, strings.Trim(fields[1], "'\""))
+			case strings.HasPrefix(lower, "@data"):
+				if len(names) < 3 {
+					return nil, fmt.Errorf("dataset: ARFF needs label, one attribute, and a response; got %d attributes", len(names))
+				}
+				schema := &Schema{
+					Response:   names[len(names)-1],
+					Attributes: append([]string(nil), names[1:len(names)-1]...),
+				}
+				d = New(schema)
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: ARFF line %d: unrecognized directive %q", line, text)
+			}
+			continue
+		}
+		rec := strings.Split(text, ",")
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("dataset: ARFF line %d: %d fields, want %d", line, len(rec), len(names))
+		}
+		s := Sample{Label: strings.Trim(strings.TrimSpace(rec[0]), "'\""), X: make([]float64, len(rec)-2)}
+		for j := 1; j < len(rec)-1; j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: ARFF line %d field %d: %w", line, j+1, err)
+			}
+			s.X[j-1] = v
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(rec[len(rec)-1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: ARFF line %d response: %w", line, err)
+		}
+		s.Y = y
+		if err := d.Append(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dataset: ARFF input has no @DATA section")
+	}
+	return d, nil
+}
+
+// arffQuote quotes a token if it contains characters that would break
+// ARFF tokenization.
+func arffQuote(s string) string {
+	if strings.ContainsAny(s, " ,'\"{}%") {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}

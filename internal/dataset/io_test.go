@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTripDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := New(&Schema{Response: "CPI", Attributes: []string{"L1DMiss", "L2Miss"}})
+	_ = d.Append(Sample{X: []float64{0.01, 0.001}, Y: 0.6, Label: "429.mcf"})
+	_ = d.Append(Sample{X: []float64{0.02, 0.0005}, Y: 1.44, Label: "470.lbm"})
+	_ = d.Append(Sample{X: []float64{0, 0}, Y: 0.25, Label: "444.namd"})
+	return d
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := roundTripDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "spec cpu2006"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "@RELATION") || !strings.Contains(text, "@DATA") {
+		t.Fatalf("ARFF output missing directives:\n%s", text)
+	}
+	got, err := ReadARFF(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func assertDatasetsEqual(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.Schema.Response != want.Schema.Response {
+		t.Errorf("response = %q, want %q", got.Schema.Response, want.Schema.Response)
+	}
+	if got.Schema.NumAttrs() != want.Schema.NumAttrs() {
+		t.Fatalf("attr count = %d, want %d", got.Schema.NumAttrs(), want.Schema.NumAttrs())
+	}
+	for i, a := range want.Schema.Attributes {
+		if got.Schema.Attributes[i] != a {
+			t.Errorf("attr[%d] = %q, want %q", i, got.Schema.Attributes[i], a)
+		}
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Samples {
+		w, g := want.Samples[i], got.Samples[i]
+		if g.Label != w.Label || g.Y != w.Y {
+			t.Errorf("sample %d = (%q, %v), want (%q, %v)", i, g.Label, g.Y, w.Label, w.Y)
+		}
+		for j := range w.X {
+			if g.X[j] != w.X[j] {
+				t.Errorf("sample %d x[%d] = %v, want %v", i, j, g.X[j], w.X[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"too few columns", "label,CPI\na,1\n"},
+		{"bad first column", "x,A,CPI\na,1,2\n"},
+		{"non-numeric attr", "label,A,CPI\na,zzz,2\n"},
+		{"non-numeric response", "label,A,CPI\na,1,zzz\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no data section", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n"},
+		{"too few attributes", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE y NUMERIC\n@DATA\n"},
+		{"bad directive", "@BOGUS\n"},
+		{"malformed attribute", "@ATTRIBUTE onlyname\n"},
+		{"wrong field count", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nfoo,1\n"},
+		{"bad number", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nfoo,xx,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadARFF(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadARFFSkipsComments(t *testing.T) {
+	in := `% a comment
+@RELATION test
+
+@ATTRIBUTE label string
+@ATTRIBUTE a NUMERIC
+@ATTRIBUTE CPI NUMERIC
+
+@DATA
+% data comment
+bench,0.5,1.5
+`
+	d, err := ReadARFF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Samples[0].Label != "bench" || d.Samples[0].Y != 1.5 {
+		t.Errorf("parsed = %+v", d.Samples)
+	}
+}
+
+func TestARFFQuoting(t *testing.T) {
+	d := New(&Schema{Response: "the response", Attributes: []string{"attr with space"}})
+	_ = d.Append(Sample{X: []float64{1}, Y: 2, Label: "bench mark"})
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "rel name"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "'attr with space'") || !strings.Contains(out, "'rel name'") {
+		t.Errorf("quoting missing:\n%s", out)
+	}
+}

@@ -1,0 +1,309 @@
+// Package linreg implements multivariate least-squares linear regression
+// used for the leaf models of the M5' model tree.
+//
+// The solver is a Householder QR factorization with implicit column
+// degeneracy handling: columns whose diagonal R entry collapses below a
+// tolerance are treated as linearly dependent and receive a zero
+// coefficient, which is exactly the behaviour needed when a tree leaf's
+// samples have a constant attribute.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrDimension is returned when the design matrix and response disagree in
+// shape or the system has no rows.
+var ErrDimension = errors.New("linreg: dimension mismatch")
+
+// Model is a fitted linear model y = Intercept + sum_j Coef[j] * x[Terms[j]].
+//
+// Terms holds the column indices (into the caller's attribute space) that
+// participate in the model, so a model can be fitted on a subset of
+// attributes and still evaluated against full-width sample vectors.
+type Model struct {
+	Intercept float64
+	Coef      []float64 // parallel to Terms
+	Terms     []int     // attribute indices used by the model
+}
+
+// Predict evaluates the model on a full-width attribute vector.
+func (m *Model) Predict(x []float64) float64 {
+	y := m.Intercept
+	for j, t := range m.Terms {
+		y += m.Coef[j] * x[t]
+	}
+	return y
+}
+
+// NumTerms returns the number of non-intercept terms.
+func (m *Model) NumTerms() int { return len(m.Terms) }
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{Intercept: m.Intercept}
+	c.Coef = append([]float64(nil), m.Coef...)
+	c.Terms = append([]int(nil), m.Terms...)
+	return c
+}
+
+// Equation renders the model in the paper's style, e.g.
+// "CPI = 0.53 + 4.73*L1DMiss - 0.198*Store", using names to label terms.
+func (m *Model) Equation(response string, names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s = %.4g", response, m.Intercept)
+	for j, t := range m.Terms {
+		c := m.Coef[j]
+		name := fmt.Sprintf("x%d", t)
+		if t >= 0 && t < len(names) {
+			name = names[t]
+		}
+		if c < 0 {
+			fmt.Fprintf(&b, " - %.4g*%s", -c, name)
+		} else {
+			fmt.Fprintf(&b, " + %.4g*%s", c, name)
+		}
+	}
+	return b.String()
+}
+
+// Fit solves the least-squares problem min ||y - [1 X_terms] beta|| over the
+// given rows, where X_terms selects the columns listed in terms from each
+// row of xs. An intercept is always included. Rows of xs must all be at
+// least as wide as the largest index in terms.
+//
+// Degenerate columns (constant, or linear combinations of earlier columns)
+// get coefficient zero rather than failing, and are removed from the
+// returned model's term list.
+func Fit(xs [][]float64, y []float64, terms []int) (*Model, error) {
+	n := len(xs)
+	if n == 0 || n != len(y) {
+		return nil, ErrDimension
+	}
+	p := len(terms) + 1 // +1 for intercept
+	// Build the design matrix column-major would save nothing here; use a
+	// dense row-major copy since n*p is small at tree leaves.
+	a := make([]float64, n*p)
+	for i, row := range xs {
+		a[i*p] = 1
+		for j, t := range terms {
+			if t >= len(row) {
+				return nil, fmt.Errorf("linreg: term index %d out of range for row of width %d", t, len(row))
+			}
+			a[i*p+j+1] = row[t]
+		}
+	}
+	b := append([]float64(nil), y...)
+
+	beta, ok := solveQR(a, b, n, p)
+	if beta == nil {
+		return nil, errors.New("linreg: singular system with no rows")
+	}
+	model := &Model{Intercept: beta[0]}
+	for j, t := range terms {
+		if !ok[j+1] {
+			continue // dropped degenerate column
+		}
+		model.Coef = append(model.Coef, beta[j+1])
+		model.Terms = append(model.Terms, t)
+	}
+	return model, nil
+}
+
+// FitConstant returns the degenerate model y = mean(y), used for leaves
+// where regression is not worthwhile.
+func FitConstant(y []float64) *Model {
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	m := &Model{}
+	if len(y) > 0 {
+		m.Intercept = sum / float64(len(y))
+	}
+	return m
+}
+
+// solveQR factors the n-by-p row-major matrix a with Householder
+// reflections, solving a*beta = b in the least-squares sense. It returns
+// the solution and a mask of columns that were numerically independent;
+// dependent columns get beta 0 and ok false.
+func solveQR(a, b []float64, n, p int) (beta []float64, ok []bool) {
+	if n == 0 {
+		return nil, nil
+	}
+	cols := p
+	if cols > n {
+		cols = n
+	}
+	ok = make([]bool, p)
+	// Column norms for the degeneracy tolerance.
+	tol := make([]float64, p)
+	for j := 0; j < p; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			v := a[i*p+j]
+			s += v * v
+		}
+		tol[j] = math.Sqrt(s) * 1e-10
+		if tol[j] == 0 {
+			tol[j] = 1e-12
+		}
+	}
+	for k := 0; k < cols; k++ {
+		// Householder vector for column k, rows k..n-1.
+		var norm float64
+		for i := k; i < n; i++ {
+			norm = math.Hypot(norm, a[i*p+k])
+		}
+		if norm <= tol[k] {
+			// Degenerate column: zero it out below the diagonal so back
+			// substitution can skip it.
+			for i := k; i < n; i++ {
+				a[i*p+k] = 0
+			}
+			continue
+		}
+		ok[k] = true
+		if a[k*p+k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < n; i++ {
+			a[i*p+k] /= norm
+		}
+		a[k*p+k] += 1
+		// Apply the reflector to remaining columns.
+		for j := k + 1; j < p; j++ {
+			var s float64
+			for i := k; i < n; i++ {
+				s += a[i*p+k] * a[i*p+j]
+			}
+			s = -s / a[k*p+k]
+			for i := k; i < n; i++ {
+				a[i*p+j] += s * a[i*p+k]
+			}
+		}
+		// Apply to b.
+		var s float64
+		for i := k; i < n; i++ {
+			s += a[i*p+k] * b[i]
+		}
+		s = -s / a[k*p+k]
+		for i := k; i < n; i++ {
+			b[i] += s * a[i*p+k]
+		}
+		a[k*p+k] = -norm // store R diagonal (Householder sign convention)
+	}
+	// Back substitution on R (upper triangular in a), skipping dead columns.
+	beta = make([]float64, p)
+	for k := cols - 1; k >= 0; k-- {
+		if !ok[k] {
+			beta[k] = 0
+			continue
+		}
+		s := b[k]
+		for j := k + 1; j < p; j++ {
+			s -= a[k*p+j] * beta[j]
+		}
+		beta[k] = s / a[k*p+k]
+	}
+	return beta, ok
+}
+
+// RSS returns the residual sum of squares of the model over the rows.
+func RSS(m *Model, xs [][]float64, y []float64) float64 {
+	var s float64
+	for i, row := range xs {
+		r := y[i] - m.Predict(row)
+		s += r * r
+	}
+	return s
+}
+
+// MAE returns the mean absolute residual of the model over the rows.
+func MAE(m *Model, xs [][]float64, y []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for i, row := range xs {
+		s += math.Abs(y[i] - m.Predict(row))
+	}
+	return s / float64(len(xs))
+}
+
+// CompensatedError returns the M5 error estimate of a model on its own
+// training rows: the mean absolute residual multiplied by (n+v)/(n-v),
+// where v counts the model's parameters. The multiplier penalizes models
+// with many terms relative to the observations that support them
+// (Quinlan 1992, Section 2).
+func CompensatedError(m *Model, xs [][]float64, y []float64) float64 {
+	n := float64(len(xs))
+	v := float64(m.NumTerms() + 1)
+	mae := MAE(m, xs, y)
+	if n <= v {
+		// Fewer observations than parameters: maximally penalized.
+		return mae * 1e9
+	}
+	return mae * (n + v) / (n - v)
+}
+
+// Simplify greedily drops terms from the model while doing so does not
+// increase the compensated error on the training rows, re-fitting after
+// each removal. This is M5's model simplification step; it is what keeps
+// most leaf models in the paper down to a handful of terms (or constants).
+func Simplify(m *Model, xs [][]float64, y []float64) *Model {
+	best := m
+	bestErr := CompensatedError(best, xs, y)
+	for {
+		improved := false
+		for drop := 0; drop < len(best.Terms); drop++ {
+			trial := make([]int, 0, len(best.Terms)-1)
+			trial = append(trial, best.Terms[:drop]...)
+			trial = append(trial, best.Terms[drop+1:]...)
+			var cand *Model
+			if len(trial) == 0 {
+				cand = FitConstant(y)
+			} else {
+				var err error
+				cand, err = Fit(xs, y, trial)
+				if err != nil {
+					continue
+				}
+			}
+			if e := CompensatedError(cand, xs, y); e <= bestErr {
+				best, bestErr = cand, e
+				improved = true
+				break // restart the scan with the smaller model
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// RSquared returns the coefficient of determination of the model over the
+// rows: 1 - RSS/TSS. A constant response yields 0 by convention.
+func RSquared(m *Model, xs [][]float64, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var tss float64
+	for _, v := range y {
+		d := v - mean
+		tss += d * d
+	}
+	if tss == 0 {
+		return 0
+	}
+	return 1 - RSS(m, xs, y)/tss
+}

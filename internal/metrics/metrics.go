@@ -1,0 +1,100 @@
+// Package metrics implements the prediction-accuracy metrics the paper
+// uses to assess model transferability (Section VI-B): the correlation
+// coefficient C (Equation 12) and the mean absolute error MAE
+// (Equation 13), along with the additional regression metrics commonly
+// reported alongside them (RMSE, relative absolute error, relative
+// squared error).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"specchar/internal/stats"
+)
+
+// ErrMismatch is returned when predicted and actual slices differ in length
+// or are empty.
+var ErrMismatch = errors.New("metrics: predicted and actual must be non-empty and equal length")
+
+// Report bundles every accuracy metric for one (model, test set) pairing.
+type Report struct {
+	N           int
+	Correlation float64 // the paper's C: Pearson correlation of predicted vs actual
+	MAE         float64 // mean absolute error, in response units (CPI)
+	RMSE        float64 // root mean squared error
+	RAE         float64 // relative absolute error vs. predicting the mean
+	RRSE        float64 // root relative squared error vs. predicting the mean
+	MeanActual  float64
+	MeanPred    float64
+}
+
+// Compute evaluates all metrics of predicted against actual.
+func Compute(predicted, actual []float64) (Report, error) {
+	if len(predicted) == 0 || len(predicted) != len(actual) {
+		return Report{}, ErrMismatch
+	}
+	n := len(predicted)
+	var absErr, sqErr float64
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		absErr += math.Abs(d)
+		sqErr += d * d
+	}
+	meanA := stats.Mean(actual)
+	var absBase, sqBase float64
+	for _, a := range actual {
+		d := a - meanA
+		absBase += math.Abs(d)
+		sqBase += d * d
+	}
+	r := Report{
+		N:          n,
+		MAE:        absErr / float64(n),
+		RMSE:       math.Sqrt(sqErr / float64(n)),
+		MeanActual: meanA,
+		MeanPred:   stats.Mean(predicted),
+	}
+	if c, err := stats.Correlation(predicted, actual); err == nil {
+		r.Correlation = c
+	} else {
+		r.Correlation = math.NaN()
+	}
+	if absBase > 0 {
+		r.RAE = absErr / absBase
+	} else {
+		r.RAE = math.NaN()
+	}
+	if sqBase > 0 {
+		r.RRSE = math.Sqrt(sqErr / sqBase)
+	} else {
+		r.RRSE = math.NaN()
+	}
+	return r, nil
+}
+
+// Thresholds holds the acceptance criteria for transferability. The paper
+// uses C >= 0.85 and MAE <= 0.15 as illustrative performance-modeling
+// thresholds.
+type Thresholds struct {
+	MinCorrelation float64
+	MaxMAE         float64
+}
+
+// PaperThresholds returns the acceptance thresholds used in Section VI-B.
+func PaperThresholds() Thresholds {
+	return Thresholds{MinCorrelation: 0.85, MaxMAE: 0.15}
+}
+
+// Acceptable reports whether the metrics meet the thresholds; a NaN
+// correlation never passes.
+func (t Thresholds) Acceptable(r Report) bool {
+	return !math.IsNaN(r.Correlation) && r.Correlation >= t.MinCorrelation && r.MAE <= t.MaxMAE
+}
+
+// String renders the report in the paper's notation.
+func (r Report) String() string {
+	return fmt.Sprintf("C=%.4f MAE=%.4f RMSE=%.4f RAE=%.4f RRSE=%.4f (n=%d)",
+		r.Correlation, r.MAE, r.RMSE, r.RAE, r.RRSE, r.N)
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return !math.IsNaN(a) && !math.IsNaN(b) && math.Abs(a-b) <= tol
+}
+
+func TestComputePerfectPrediction(t *testing.T) {
+	actual := []float64{1, 2, 3, 4, 5}
+	r, err := Compute(actual, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.Correlation, 1, 1e-12) {
+		t.Errorf("C = %v, want 1", r.Correlation)
+	}
+	if r.MAE != 0 || r.RMSE != 0 || r.RAE != 0 || r.RRSE != 0 {
+		t.Errorf("perfect prediction has non-zero errors: %+v", r)
+	}
+}
+
+func TestComputeKnownErrors(t *testing.T) {
+	actual := []float64{0, 0, 0, 0}
+	pred := []float64{1, -1, 1, -1}
+	r, err := Compute(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.MAE, 1, 1e-12) {
+		t.Errorf("MAE = %v, want 1", r.MAE)
+	}
+	if !almostEqual(r.RMSE, 1, 1e-12) {
+		t.Errorf("RMSE = %v, want 1", r.RMSE)
+	}
+	// Zero-variance actual: relative metrics are undefined.
+	if !math.IsNaN(r.RAE) || !math.IsNaN(r.RRSE) {
+		t.Errorf("relative metrics on zero-variance actual should be NaN: %+v", r)
+	}
+}
+
+func TestComputeMeanPredictorBaseline(t *testing.T) {
+	actual := []float64{1, 2, 3, 4, 5, 6}
+	mean := 3.5
+	pred := []float64{mean, mean, mean, mean, mean, mean}
+	r, err := Compute(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicting the mean gives RAE = RRSE = 1 by construction.
+	if !almostEqual(r.RAE, 1, 1e-12) || !almostEqual(r.RRSE, 1, 1e-12) {
+		t.Errorf("mean predictor: RAE = %v RRSE = %v, want 1, 1", r.RAE, r.RRSE)
+	}
+	// Correlation with a constant prediction is undefined.
+	if !math.IsNaN(r.Correlation) {
+		t.Errorf("correlation of constant prediction should be NaN, got %v", r.Correlation)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, nil); err != ErrMismatch {
+		t.Errorf("err = %v, want ErrMismatch", err)
+	}
+	if _, err := Compute([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Errorf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	th := PaperThresholds()
+	if th.MinCorrelation != 0.85 || th.MaxMAE != 0.15 {
+		t.Errorf("PaperThresholds = %+v", th)
+	}
+	// The paper's self-transfer result (C=0.9214, MAE=0.0988) is acceptable.
+	if !th.Acceptable(Report{Correlation: 0.9214, MAE: 0.0988}) {
+		t.Error("paper self-transfer metrics should be acceptable")
+	}
+	// The paper's cross-suite result (C=0.4337, MAE=0.3721) is not.
+	if th.Acceptable(Report{Correlation: 0.4337, MAE: 0.3721}) {
+		t.Error("paper cross-suite metrics should be rejected")
+	}
+	// Boundary conditions: exact thresholds pass.
+	if !th.Acceptable(Report{Correlation: 0.85, MAE: 0.15}) {
+		t.Error("exact thresholds should pass")
+	}
+	// NaN correlation never passes.
+	if th.Acceptable(Report{Correlation: math.NaN(), MAE: 0}) {
+		t.Error("NaN correlation should not pass")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Correlation: 0.9, MAE: 0.1, N: 5}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: MAE <= RMSE (Jensen), both non-negative, and scaling errors
+// scales the metrics.
+func TestErrorOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		pred := make([]float64, n)
+		actual := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := raw[i], raw[n+i]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+				return true
+			}
+			pred[i] = math.Mod(a, 100)
+			actual[i] = math.Mod(b, 100)
+		}
+		r, err := Compute(pred, actual)
+		if err != nil {
+			return false
+		}
+		return r.MAE >= 0 && r.RMSE >= 0 && r.MAE <= r.RMSE+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

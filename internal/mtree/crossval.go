@@ -1,0 +1,85 @@
+package mtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"specchar/internal/dataset"
+)
+
+// CVResult summarizes a k-fold cross-validation of tree induction on a
+// dataset: per-fold held-out errors and their aggregates. It is the
+// statistically careful way to quote a single model-accuracy number for a
+// dataset, complementing the single-split protocol of the paper's
+// Section VI.
+type CVResult struct {
+	Folds    int
+	FoldMAE  []float64 // held-out mean absolute error per fold
+	FoldRMSE []float64
+	MeanMAE  float64
+	MeanRMSE float64
+	// StdErrMAE is the standard error of the fold MAEs, quantifying the
+	// stability of the estimate.
+	StdErrMAE float64
+}
+
+// CrossValidate performs k-fold cross-validation: the dataset is
+// shuffled deterministically by seed, partitioned into k folds, and a
+// tree is trained on each k-1 fold union and scored on the held-out fold.
+func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVResult, error) {
+	n := d.Len()
+	if k < 2 {
+		return nil, errors.New("mtree: cross-validation requires k >= 2")
+	}
+	if n < 2*k {
+		return nil, fmt.Errorf("mtree: %d samples too few for %d folds", n, k)
+	}
+	perm := dataset.NewRNG(seed).Perm(n)
+	res := &CVResult{Folds: k}
+	for fold := 0; fold < k; fold++ {
+		train := dataset.New(d.Schema)
+		test := dataset.New(d.Schema)
+		for i, idx := range perm {
+			if i%k == fold {
+				test.Samples = append(test.Samples, d.Samples[idx])
+			} else {
+				train.Samples = append(train.Samples, d.Samples[idx])
+			}
+		}
+		tree, err := Build(train, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mtree: fold %d: %w", fold, err)
+		}
+		var absSum, sqSum float64
+		for _, s := range test.Samples {
+			r := tree.Predict(s.X) - s.Y
+			absSum += math.Abs(r)
+			sqSum += r * r
+		}
+		m := float64(test.Len())
+		res.FoldMAE = append(res.FoldMAE, absSum/m)
+		res.FoldRMSE = append(res.FoldRMSE, math.Sqrt(sqSum/m))
+	}
+	for i := 0; i < k; i++ {
+		res.MeanMAE += res.FoldMAE[i]
+		res.MeanRMSE += res.FoldRMSE[i]
+	}
+	res.MeanMAE /= float64(k)
+	res.MeanRMSE /= float64(k)
+	var ss float64
+	for _, v := range res.FoldMAE {
+		d := v - res.MeanMAE
+		ss += d * d
+	}
+	if k > 1 {
+		res.StdErrMAE = math.Sqrt(ss/float64(k-1)) / math.Sqrt(float64(k))
+	}
+	return res, nil
+}
+
+// String renders the cross-validation summary.
+func (r *CVResult) String() string {
+	return fmt.Sprintf("%d-fold CV: MAE %.4f ± %.4f (se), RMSE %.4f",
+		r.Folds, r.MeanMAE, r.StdErrMAE, r.MeanRMSE)
+}

@@ -1,0 +1,45 @@
+package mtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderDot returns the tree as a Graphviz DOT digraph in the visual
+// style of the paper's Figures 1 and 2: oval split nodes carrying the
+// split variable, sample share and mean response; rectangular leaves
+// carrying the LM number, share and mean response; arcs labeled with the
+// split criterion.
+func (t *Tree) RenderDot(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph mtree {\n")
+	fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	fmt.Fprintf(&b, "  node [fontname=\"Helvetica\"];\n")
+	total := float64(t.Root.N)
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		my := id
+		id++
+		share := 100 * float64(n.N) / total
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"LM%d\\n%.1f%%, %s %.2f\"];\n",
+				my, n.LeafID, share, t.Schema.Response, n.MeanY)
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [shape=ellipse, label=\"%s\\n%.1f%%, %s %.2f\"];\n",
+			my, dotEscape(t.attrName(n.Attr)), share, t.Schema.Response, n.MeanY)
+		l := walk(n.Left)
+		r := walk(n.Right)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"<= %.4g\"];\n", my, l, n.Threshold)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"> %.4g\"];\n", my, r, n.Threshold)
+		return my
+	}
+	walk(t.Root)
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+func dotEscape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,614 @@
+// Package mtree implements M5' model trees, the core analytical technique
+// of the paper (Section III). An M5' tree recursively partitions the
+// sample space on attribute thresholds chosen to maximize standard
+// deviation reduction (SDR), then places a multivariate linear model at
+// each leaf. Subtrees whose leaf models do not beat a single node-level
+// model are pruned away, and predictions are optionally smoothed along the
+// path from leaf to root.
+//
+// References: Quinlan, "Learning with Continuous Classes" (1992);
+// Wang & Witten, "Induction of model trees for predicting continuous
+// classes" (1997) — the M5' variant re-implemented in WEKA and used by
+// the paper.
+package mtree
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"specchar/internal/dataset"
+	"specchar/internal/linreg"
+)
+
+// Options control tree induction.
+type Options struct {
+	// MinLeaf is the minimum number of training samples in each branch of
+	// a candidate split. Splits that would isolate fewer samples are not
+	// considered.
+	MinLeaf int
+
+	// MinSplit is the minimum number of samples a node must contain before
+	// a split is attempted; smaller nodes become leaves.
+	MinSplit int
+
+	// SDThresholdFrac stops splitting once a node's response standard
+	// deviation falls below this fraction of the root's (M5's default
+	// stopping rule uses 0.05).
+	SDThresholdFrac float64
+
+	// MaxDepth caps tree depth as a safety valve; 0 means unlimited.
+	MaxDepth int
+
+	// Prune enables bottom-up subtree replacement by node-level linear
+	// models when the model's compensated error is no worse.
+	Prune bool
+
+	// PruningFactor scales the subtree error during the pruning
+	// comparison. 1.0 is the standard rule; values above 1 prune more
+	// aggressively, values below 1 keep larger trees.
+	PruningFactor float64
+
+	// Smooth enables M5 leaf-to-root prediction smoothing.
+	Smooth bool
+
+	// SmoothingK is the smoothing constant (Quinlan uses 15).
+	SmoothingK float64
+}
+
+// DefaultOptions returns the configuration used for the paper
+// reproduction, matching M5' defaults.
+func DefaultOptions() Options {
+	return Options{
+		MinLeaf:         4,
+		MinSplit:        8,
+		SDThresholdFrac: 0.05,
+		MaxDepth:        0,
+		Prune:           true,
+		PruningFactor:   1.0,
+		Smooth:          true,
+		SmoothingK:      15,
+	}
+}
+
+// Node is one node of a model tree. Interior nodes carry a split
+// (Attr, Threshold, Left, Right); leaves carry a LeafID. Every node keeps
+// a linear model: at leaves it is the prediction model, at interior nodes
+// it supports smoothing.
+type Node struct {
+	// Split description (interior nodes only). Samples with
+	// X[Attr] <= Threshold go Left, others go Right.
+	Attr      int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+
+	// Model is the node's linear model (always set after Build).
+	Model *linreg.Model
+
+	// LeafID is the 1-based index of the leaf in left-to-right order
+	// ("LM1", "LM2", ... in the paper's figures); 0 for interior nodes.
+	LeafID int
+
+	// Training statistics.
+	N     int     // samples reaching this node during training
+	MeanY float64 // mean response of those samples
+	SD    float64 // population standard deviation of the response
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a trained M5' model tree.
+type Tree struct {
+	Schema *dataset.Schema
+	Root   *Node
+	Opts   Options
+	leaves []*Node
+}
+
+// Leaves returns the tree's leaves in left-to-right order; Leaves()[i] has
+// LeafID i+1.
+func (t *Tree) Leaves() []*Node { return t.leaves }
+
+// NumLeaves returns the number of leaf linear models.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// ErrNoData is returned when Build is called with an empty training set.
+var ErrNoData = errors.New("mtree: empty training set")
+
+// Build trains an M5' model tree on the dataset.
+func Build(d *dataset.Dataset, opts Options) (*Tree, error) {
+	if d.Len() == 0 {
+		return nil, ErrNoData
+	}
+	if opts.MinLeaf < 1 {
+		opts.MinLeaf = 1
+	}
+	if opts.MinSplit < 2*opts.MinLeaf {
+		opts.MinSplit = 2 * opts.MinLeaf
+	}
+	b := &builder{
+		xs:   d.Xs(),
+		ys:   d.Ys(),
+		opts: opts,
+	}
+	rootSD := popSD(b.ys, indicesUpTo(len(b.ys)))
+	b.sdStop = rootSD * opts.SDThresholdFrac
+
+	root := b.grow(indicesUpTo(len(b.ys)), 0)
+	b.fitModels(root, indicesUpTo(len(b.ys)))
+	if opts.Prune {
+		b.prune(root, indicesUpTo(len(b.ys)))
+	}
+	t := &Tree{Schema: d.Schema, Root: root, Opts: opts}
+	t.numberLeaves()
+	return t, nil
+}
+
+type builder struct {
+	xs     [][]float64
+	ys     []float64
+	opts   Options
+	sdStop float64
+}
+
+func indicesUpTo(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// grow builds the unpruned split structure over the sample indices.
+func (b *builder) grow(idx []int, depth int) *Node {
+	n := &Node{
+		N:     len(idx),
+		MeanY: meanAt(b.ys, idx),
+		SD:    popSD(b.ys, idx),
+	}
+	if len(idx) < b.opts.MinSplit || n.SD <= b.sdStop ||
+		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth) {
+		return n
+	}
+	attr, thr, ok := b.bestSplit(idx)
+	if !ok {
+		return n
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.xs[i][attr] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.opts.MinLeaf || len(right) < b.opts.MinLeaf {
+		return n
+	}
+	n.Attr, n.Threshold = attr, thr
+	n.Left = b.grow(left, depth+1)
+	n.Right = b.grow(right, depth+1)
+	return n
+}
+
+// bestSplit finds the (attribute, threshold) pair maximizing the standard
+// deviation reduction SDR = sd(T) - sum |Ti|/|T| * sd(Ti). Ties break
+// toward the lowest attribute index, then the lowest threshold, keeping
+// induction deterministic.
+func (b *builder) bestSplit(idx []int) (attr int, threshold float64, ok bool) {
+	nAttrs := len(b.xs[idx[0]])
+
+	// The per-attribute scans are independent; on large nodes they are
+	// fanned out across goroutines. Results are reduced in attribute
+	// order afterwards, so parallel and serial induction are identical.
+	type result struct {
+		thr   float64
+		sdr   float64
+		valid bool
+	}
+	results := make([]result, nAttrs)
+	if len(idx) >= parallelSplitThreshold && nAttrs > 1 {
+		var wg sync.WaitGroup
+		for a := 0; a < nAttrs; a++ {
+			wg.Add(1)
+			go func(a int) {
+				defer wg.Done()
+				thr, sdr, valid := b.bestSplitForAttr(idx, a)
+				results[a] = result{thr, sdr, valid}
+			}(a)
+		}
+		wg.Wait()
+	} else {
+		for a := 0; a < nAttrs; a++ {
+			thr, sdr, valid := b.bestSplitForAttr(idx, a)
+			results[a] = result{thr, sdr, valid}
+		}
+	}
+	bestSDR := 0.0
+	for a, r := range results {
+		if r.valid && r.sdr > bestSDR+1e-15 {
+			bestSDR = r.sdr
+			attr, threshold, ok = a, r.thr, true
+		}
+	}
+	return attr, threshold, ok
+}
+
+// parallelSplitThreshold is the node size above which the split search
+// fans out one goroutine per attribute. Small nodes stay serial — the
+// goroutine overhead would dominate their sort cost.
+const parallelSplitThreshold = 2048
+
+// bestSplitForAttr scans one attribute's value boundaries for the
+// threshold maximizing the SDR over the samples in idx.
+func (b *builder) bestSplitForAttr(idx []int, a int) (threshold, bestSDR float64, ok bool) {
+	n := len(idx)
+	if n < 2*b.opts.MinLeaf {
+		return 0, 0, false
+	}
+	sdAll := popSD(b.ys, idx)
+	if sdAll == 0 {
+		return 0, 0, false
+	}
+	order := make([]int, n)
+	copy(order, idx)
+	sortByAttr(order, b.xs, a)
+	ysSorted := make([]float64, n)
+	vals := make([]float64, n)
+	for i, s := range order {
+		ysSorted[i] = b.ys[s]
+		vals[i] = b.xs[s][a]
+	}
+	// Prefix sums over the sorted responses for O(1) per-threshold SD.
+	var sum, sumsq float64
+	prefixSum := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, y := range ysSorted {
+		sum += y
+		sumsq += y * y
+		prefixSum[i+1] = sum
+		prefixSq[i+1] = sumsq
+	}
+	for cut := b.opts.MinLeaf; cut <= n-b.opts.MinLeaf; cut++ {
+		if vals[cut-1] == vals[cut] {
+			continue // not a value boundary
+		}
+		sdL := sdFromSums(prefixSum[cut], prefixSq[cut], cut)
+		sdR := sdFromSums(sum-prefixSum[cut], sumsq-prefixSq[cut], n-cut)
+		sdr := sdAll - (float64(cut)/float64(n))*sdL - (float64(n-cut)/float64(n))*sdR
+		if sdr > bestSDR+1e-15 {
+			bestSDR = sdr
+			threshold = (vals[cut-1] + vals[cut]) / 2
+			ok = true
+		}
+	}
+	return threshold, bestSDR, ok
+}
+
+// fitModels attaches a simplified linear model to every node of the
+// unpruned tree. Interior nodes regress on the attributes appearing in
+// splits of their subtree (Quinlan's restriction); original leaves, which
+// have no subtree, regress on all attributes and rely on the greedy
+// simplification step to discard useless terms.
+func (b *builder) fitModels(n *Node, idx []int) {
+	if n.IsLeaf() {
+		n.Model = b.fitSimplified(idx, allAttrTerms(b.xs[idx[0]]))
+		return
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.xs[i][n.Attr] <= n.Threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	b.fitModels(n.Left, left)
+	b.fitModels(n.Right, right)
+	terms := subtreeSplitAttrs(n)
+	n.Model = b.fitSimplified(idx, terms)
+}
+
+// fitSimplified fits a linear model on the given terms and greedily drops
+// terms under the compensated-error criterion. It degrades to a constant
+// model when regression fails or no terms are given.
+func (b *builder) fitSimplified(idx []int, terms []int) *linreg.Model {
+	xs := make([][]float64, len(idx))
+	ys := make([]float64, len(idx))
+	for j, i := range idx {
+		xs[j] = b.xs[i]
+		ys[j] = b.ys[i]
+	}
+	if len(terms) == 0 || len(idx) <= len(terms)+2 {
+		// Not enough observations to support the regressors; try a smaller
+		// basis or fall back to a constant.
+		if len(idx) > 3 && len(terms) > 0 {
+			terms = terms[:min(len(terms), len(idx)/2)]
+		} else {
+			return linreg.FitConstant(ys)
+		}
+	}
+	m, err := linreg.Fit(xs, ys, terms)
+	if err != nil {
+		return linreg.FitConstant(ys)
+	}
+	return linreg.Simplify(m, xs, ys)
+}
+
+// prune walks bottom-up, replacing a subtree with its node-level model
+// whenever the model's compensated error is no worse than PruningFactor
+// times the subtree's. It returns the estimated error of whatever remains
+// at n.
+func (b *builder) prune(n *Node, idx []int) float64 {
+	xs := make([][]float64, len(idx))
+	ys := make([]float64, len(idx))
+	for j, i := range idx {
+		xs[j] = b.xs[i]
+		ys[j] = b.ys[i]
+	}
+	modelErr := linreg.CompensatedError(n.Model, xs, ys)
+	if n.IsLeaf() {
+		return modelErr
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.xs[i][n.Attr] <= n.Threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	eL := b.prune(n.Left, left)
+	eR := b.prune(n.Right, right)
+	subtreeErr := (float64(len(left))*eL + float64(len(right))*eR) / float64(len(idx))
+	if modelErr <= subtreeErr*b.opts.PruningFactor {
+		// Collapse to a leaf carrying the node model.
+		n.Left, n.Right = nil, nil
+		return modelErr
+	}
+	return subtreeErr
+}
+
+// numberLeaves assigns LeafIDs in left-to-right order, matching the LM1,
+// LM2, ... numbering of the paper's figures.
+func (t *Tree) numberLeaves() {
+	t.leaves = t.leaves[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			t.leaves = append(t.leaves, n)
+			n.LeafID = len(t.leaves)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+}
+
+// Classify returns the leaf that the sample vector falls into.
+func (t *Tree) Classify(x []float64) *Node {
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Attr] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Predict returns the tree's prediction for the sample vector, applying
+// M5 smoothing along the root path when enabled.
+func (t *Tree) Predict(x []float64) float64 {
+	if !t.Opts.Smooth {
+		return t.Classify(x).Model.Predict(x)
+	}
+	return t.predictSmoothed(t.Root, x)
+}
+
+// predictSmoothed implements Quinlan's smoothing: the child's prediction p
+// is blended with the node model's prediction q as (n*p + k*q)/(n + k),
+// where n is the child's training population.
+func (t *Tree) predictSmoothed(n *Node, x []float64) float64 {
+	if n.IsLeaf() {
+		return n.Model.Predict(x)
+	}
+	child := n.Left
+	if x[n.Attr] > n.Threshold {
+		child = n.Right
+	}
+	p := t.predictSmoothed(child, x)
+	q := n.Model.Predict(x)
+	k := t.Opts.SmoothingK
+	return (float64(child.N)*p + k*q) / (float64(child.N) + k)
+}
+
+// PredictDataset returns predictions for every sample in d.
+func (t *Tree) PredictDataset(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	for i, s := range d.Samples {
+		out[i] = t.Predict(s.X)
+	}
+	return out
+}
+
+// Depth returns the maximum depth of the tree (a lone root has depth 1).
+func (t *Tree) Depth() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n.IsLeaf() {
+			return 1
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return walk(t.Root)
+}
+
+// SplitAttributes returns the distinct attribute indices used in splits,
+// ordered by first (breadth-first) appearance — the paper reads this
+// ordering as the importance ranking of performance factors.
+func (t *Tree) SplitAttributes() []int {
+	var out []int
+	seen := make(map[int]bool)
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.IsLeaf() {
+			continue
+		}
+		if !seen[n.Attr] {
+			seen[n.Attr] = true
+			out = append(out, n.Attr)
+		}
+		queue = append(queue, n.Left, n.Right)
+	}
+	return out
+}
+
+// subtreeSplitAttrs collects the distinct attributes used in splits of the
+// subtree rooted at n, in ascending order.
+func subtreeSplitAttrs(n *Node) []int {
+	seen := make(map[int]bool)
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.IsLeaf() {
+			return
+		}
+		seen[m.Attr] = true
+		walk(m.Left)
+		walk(m.Right)
+	}
+	walk(n)
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func allAttrTerms(row []float64) []int {
+	out := make([]int, len(row))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func meanAt(ys []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += ys[i]
+	}
+	return s / float64(len(idx))
+}
+
+func popSD(ys []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s, sq float64
+	for _, i := range idx {
+		y := ys[i]
+		s += y
+		sq += y * y
+	}
+	return sdFromSums(s, sq, len(idx))
+}
+
+func sdFromSums(sum, sumsq float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	v := sumsq/fn - (sum/fn)*(sum/fn)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// sortByAttr sorts the index slice by the attribute value, ascending, with
+// index order breaking ties for determinism.
+func sortByAttr(idx []int, xs [][]float64, attr int) {
+	// Insertion sort would be O(n^2); use the stdlib via a local closure.
+	quickSortIdx(idx, func(a, b int) bool {
+		va, vb := xs[a][attr], xs[b][attr]
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	})
+}
+
+// quickSortIdx is pdqsort-free deterministic quicksort over ints with a
+// custom less; small slices use insertion sort.
+func quickSortIdx(s []int, less func(a, b int) bool) {
+	for len(s) > 12 {
+		// Median-of-three pivot.
+		m := len(s) / 2
+		hi := len(s) - 1
+		if less(s[m], s[0]) {
+			s[m], s[0] = s[0], s[m]
+		}
+		if less(s[hi], s[0]) {
+			s[hi], s[0] = s[0], s[hi]
+		}
+		if less(s[hi], s[m]) {
+			s[hi], s[m] = s[m], s[hi]
+		}
+		pivot := s[m]
+		i, j := 0, hi
+		for i <= j {
+			for less(s[i], pivot) {
+				i++
+			}
+			for less(pivot, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		// Recurse on the smaller half, loop on the larger.
+		if j < len(s)-i {
+			quickSortIdx(s[:j+1], less)
+			s = s[i:]
+		} else {
+			quickSortIdx(s[i:], less)
+			s = s[:j+1]
+		}
+	}
+	// Insertion sort for the tail.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package mtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns an ASCII rendering of the tree in the spirit of the
+// paper's Figures 1 and 2: each split node shows its variable and
+// threshold plus the share of training samples and their mean response;
+// each leaf shows its LM number, share, and mean response.
+//
+//	DtlbMiss <= 0.00019 ? (100.0% of samples, mean CPI 0.96)
+//	├─yes: LM1 (45.3%, mean CPI 0.60)
+//	└─no:  L2Miss <= 0.00048 ? (54.7%, mean CPI 1.26)
+//	   ...
+func (t *Tree) Render() string {
+	var b strings.Builder
+	total := float64(t.Root.N)
+	resp := t.Schema.Response
+	var walk func(n *Node, prefix string, tag string)
+	walk = func(n *Node, prefix, tag string) {
+		share := 100 * float64(n.N) / total
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s%sLM%d (%.1f%%, mean %s %.2f)\n", prefix, tag, n.LeafID, share, resp, n.MeanY)
+			return
+		}
+		fmt.Fprintf(&b, "%s%s%s <= %.6g ? (%.1f%%, mean %s %.2f)\n",
+			prefix, tag, t.attrName(n.Attr), n.Threshold, share, resp, n.MeanY)
+		childPrefix := prefix
+		switch {
+		case tag == "":
+			// root: children are flush left
+		case strings.HasPrefix(tag, "├"):
+			childPrefix += "│  "
+		default:
+			childPrefix += "   "
+		}
+		walk(n.Left, childPrefix, "├─yes: ")
+		walk(n.Right, childPrefix, "└─no:  ")
+	}
+	walk(t.Root, "", "")
+	return b.String()
+}
+
+// RenderModels returns the leaf linear-model equations in the style of the
+// paper's Equations 1-7, one per line:
+//
+//	LM1: CPI = 0.53 + 4.73*L1DMiss + ... (45.3% of samples, mean CPI 0.60)
+func (t *Tree) RenderModels() string {
+	var b strings.Builder
+	total := float64(t.Root.N)
+	for _, leaf := range t.leaves {
+		share := 100 * float64(leaf.N) / total
+		fmt.Fprintf(&b, "LM%d: %s  (%.1f%% of samples, mean %s %.2f)\n",
+			leaf.LeafID,
+			leaf.Model.Equation(t.Schema.Response, t.Schema.Attributes),
+			share, t.Schema.Response, leaf.MeanY)
+	}
+	return b.String()
+}
+
+// RenderSplitSummary lists the split attributes in breadth-first order of
+// first appearance — the paper's reading of event importance.
+func (t *Tree) RenderSplitSummary() string {
+	var b strings.Builder
+	b.WriteString("split variables by importance (breadth-first first use):\n")
+	for rank, a := range t.SplitAttributes() {
+		fmt.Fprintf(&b, "  %2d. %s\n", rank+1, t.attrName(a))
+	}
+	return b.String()
+}
+
+func (t *Tree) attrName(a int) string {
+	if a >= 0 && a < len(t.Schema.Attributes) {
+		return t.Schema.Attributes[a]
+	}
+	return fmt.Sprintf("x%d", a)
+}

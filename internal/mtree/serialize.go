@@ -1,0 +1,126 @@
+package mtree
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"specchar/internal/dataset"
+	"specchar/internal/linreg"
+)
+
+// treeJSON is the serialized form of a trained tree. Node and
+// linreg.Model already expose their state through exported fields, so the
+// encoding is a direct structural dump plus a format version for forward
+// compatibility.
+type treeJSON struct {
+	Version int             `json:"version"`
+	Schema  *dataset.Schema `json:"schema"`
+	Opts    Options         `json:"options"`
+	Root    *nodeJSON       `json:"root"`
+}
+
+type nodeJSON struct {
+	Attr      int           `json:"attr,omitempty"`
+	Threshold float64       `json:"threshold,omitempty"`
+	Left      *nodeJSON     `json:"left,omitempty"`
+	Right     *nodeJSON     `json:"right,omitempty"`
+	Model     *linreg.Model `json:"model"`
+	N         int           `json:"n"`
+	MeanY     float64       `json:"meanY"`
+	SD        float64       `json:"sd"`
+}
+
+const serializeVersion = 1
+
+// WriteJSON serializes the trained tree, so a model trained once (the
+// expensive step) can be reused across processes — the workflow behind
+// the paper's transferability pitch.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(treeJSON{
+		Version: serializeVersion,
+		Schema:  t.Schema,
+		Opts:    t.Opts,
+		Root:    toNodeJSON(t.Root),
+	})
+}
+
+func toNodeJSON(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Attr:      n.Attr,
+		Threshold: n.Threshold,
+		Left:      toNodeJSON(n.Left),
+		Right:     toNodeJSON(n.Right),
+		Model:     n.Model,
+		N:         n.N,
+		MeanY:     n.MeanY,
+		SD:        n.SD,
+	}
+}
+
+// ReadJSON reconstructs a tree serialized by WriteJSON, revalidating its
+// structure and renumbering the leaves.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var tj treeJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tj); err != nil {
+		return nil, fmt.Errorf("mtree: decoding tree: %w", err)
+	}
+	if tj.Version != serializeVersion {
+		return nil, fmt.Errorf("mtree: unsupported tree format version %d", tj.Version)
+	}
+	if tj.Schema == nil || tj.Root == nil {
+		return nil, errors.New("mtree: serialized tree missing schema or root")
+	}
+	root, err := fromNodeJSON(tj.Root, tj.Schema.NumAttrs())
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Schema: tj.Schema, Root: root, Opts: tj.Opts}
+	t.numberLeaves()
+	return t, nil
+}
+
+func fromNodeJSON(nj *nodeJSON, nAttrs int) (*Node, error) {
+	if nj.Model == nil {
+		return nil, errors.New("mtree: serialized node missing model")
+	}
+	for _, term := range nj.Model.Terms {
+		if term < 0 || term >= nAttrs {
+			return nil, fmt.Errorf("mtree: model term %d outside schema width %d", term, nAttrs)
+		}
+	}
+	if len(nj.Model.Terms) != len(nj.Model.Coef) {
+		return nil, errors.New("mtree: model terms and coefficients disagree")
+	}
+	n := &Node{
+		Attr:      nj.Attr,
+		Threshold: nj.Threshold,
+		Model:     nj.Model,
+		N:         nj.N,
+		MeanY:     nj.MeanY,
+		SD:        nj.SD,
+	}
+	if (nj.Left == nil) != (nj.Right == nil) {
+		return nil, errors.New("mtree: node with exactly one child")
+	}
+	if nj.Left != nil {
+		if nj.Attr < 0 || nj.Attr >= nAttrs {
+			return nil, fmt.Errorf("mtree: split attribute %d outside schema width %d", nj.Attr, nAttrs)
+		}
+		var err error
+		if n.Left, err = fromNodeJSON(nj.Left, nAttrs); err != nil {
+			return nil, err
+		}
+		if n.Right, err = fromNodeJSON(nj.Right, nAttrs); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

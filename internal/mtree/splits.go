@@ -1,0 +1,44 @@
+package mtree
+
+import (
+	"sort"
+
+	"specchar/internal/dataset"
+)
+
+// SplitCandidate reports, for one attribute, the best available split of a
+// dataset and the standard deviation reduction it achieves. The paper
+// reads the tree's top split variables as the ranking of performance
+// factors; EvaluateSplits exposes that ranking directly, without building
+// a full tree.
+type SplitCandidate struct {
+	Attr      int     // attribute (column) index
+	Name      string  // attribute name from the schema
+	Threshold float64 // best split threshold for this attribute
+	SDR       float64 // standard deviation reduction at that threshold
+	Valid     bool    // false when the attribute admits no split
+}
+
+// EvaluateSplits computes the best split per attribute over the whole
+// dataset, returned in descending SDR order. MinLeaf from opts constrains
+// the candidate thresholds exactly as during tree induction.
+func EvaluateSplits(d *dataset.Dataset, opts Options) []SplitCandidate {
+	if d.Len() == 0 {
+		return nil
+	}
+	if opts.MinLeaf < 1 {
+		opts.MinLeaf = 1
+	}
+	b := &builder{xs: d.Xs(), ys: d.Ys(), opts: opts}
+	idx := indicesUpTo(d.Len())
+	out := make([]SplitCandidate, d.Schema.NumAttrs())
+	for a := range out {
+		thr, sdr, ok := b.bestSplitForAttr(idx, a)
+		out[a] = SplitCandidate{Attr: a, Threshold: thr, SDR: sdr, Valid: ok}
+		if a < len(d.Schema.Attributes) {
+			out[a].Name = d.Schema.Attributes[a]
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SDR > out[j].SDR })
+	return out
+}

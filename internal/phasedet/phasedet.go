@@ -1,0 +1,252 @@
+// Package phasedet detects execution-phase structure in sequences of
+// per-interval event vectors — the phase behaviour that the paper's
+// related work ([12]: "finding similar architecture-independent phases
+// across benchmark-input pairs") exploits and that the paper's own
+// interval sampling implicitly averages over.
+//
+// The detector is a classic sliding-window boundary finder: feature
+// vectors are standardized, the distance between the mean vectors of the
+// windows before and after each position is computed, and local maxima
+// above a threshold become phase boundaries. Segments between boundaries
+// are then merged into recurring phases by greedy centroid matching.
+//
+// Because this repository also *generates* its workloads from explicit
+// phase definitions (internal/trace.Phase), detection can be validated
+// against ground truth — see the facade's phase experiment.
+package phasedet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options tune the detector.
+type Options struct {
+	// Window is the number of intervals on each side of a candidate
+	// boundary; 0 defaults to 8.
+	Window int
+	// Threshold is the boundary score (standardized distance between
+	// window means) above which a local maximum becomes a boundary;
+	// 0 defaults to 2.0.
+	Threshold float64
+	// MergeRadius is the standardized distance under which two segments
+	// are considered the same recurring phase; 0 defaults to 1.0.
+	MergeRadius float64
+}
+
+func (o *Options) defaults() {
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 2.0
+	}
+	if o.MergeRadius <= 0 {
+		o.MergeRadius = 1.0
+	}
+}
+
+// Segment is a contiguous run of intervals assigned to one phase.
+type Segment struct {
+	Start, End int // interval index range [Start, End)
+	Phase      int // recurring-phase id, 0-based
+}
+
+// Result is a detected phase structure.
+type Result struct {
+	// Boundaries are the interval indices at which a new segment begins
+	// (excluding 0).
+	Boundaries []int
+	// Segments partition [0, n) in order.
+	Segments []Segment
+	// NumPhases is the number of distinct recurring phases.
+	NumPhases int
+	// Scores holds the per-position boundary scores (diagnostic).
+	Scores []float64
+}
+
+// PhaseOf returns the phase id of interval i, or -1 if out of range.
+func (r *Result) PhaseOf(i int) int {
+	for _, s := range r.Segments {
+		if i >= s.Start && i < s.End {
+			return s.Phase
+		}
+	}
+	return -1
+}
+
+// ErrTooShort is returned when the sequence is shorter than two windows.
+var ErrTooShort = errors.New("phasedet: sequence shorter than two windows")
+
+// Detect finds phase boundaries in the ordered interval rows.
+func Detect(rows [][]float64, opts Options) (*Result, error) {
+	opts.defaults()
+	n := len(rows)
+	if n < 2*opts.Window {
+		return nil, ErrTooShort
+	}
+	dim := len(rows[0])
+	for _, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("phasedet: ragged rows (%d vs %d)", len(r), dim)
+		}
+	}
+	// Standardize columns so the distance is scale-free.
+	mean := make([]float64, dim)
+	scale := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += rows[i][j]
+		}
+		mean[j] = sum / float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			d := rows[i][j] - mean[j]
+			ss += d * d
+		}
+		scale[j] = math.Sqrt(ss / float64(n))
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	z := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		z[i] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			z[i][j] = (rows[i][j] - mean[j]) / scale[j]
+		}
+	}
+
+	// Boundary scores: distance between window means on each side.
+	w := opts.Window
+	scores := make([]float64, n)
+	winMean := func(lo, hi int) []float64 {
+		out := make([]float64, dim)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < dim; j++ {
+				out[j] += z[i][j]
+			}
+		}
+		for j := range out {
+			out[j] /= float64(hi - lo)
+		}
+		return out
+	}
+	for i := w; i <= n-w; i++ {
+		if i == n {
+			break
+		}
+		left := winMean(i-w, i)
+		right := winMean(i, min(i+w, n))
+		var d float64
+		for j := 0; j < dim; j++ {
+			dd := left[j] - right[j]
+			d += dd * dd
+		}
+		scores[i] = math.Sqrt(d)
+	}
+
+	// Boundaries: local maxima above the threshold, at least a window
+	// apart (two phase changes within one window are indistinguishable).
+	var boundaries []int
+	lastB := -w
+	for i := w; i < n-w+1 && i < n; i++ {
+		if scores[i] < opts.Threshold {
+			continue
+		}
+		isMax := true
+		for k := max(w, i-w/2); k <= min(n-1, i+w/2); k++ {
+			if scores[k] > scores[i] {
+				isMax = false
+				break
+			}
+		}
+		if isMax && i-lastB >= w {
+			boundaries = append(boundaries, i)
+			lastB = i
+		}
+	}
+
+	// Segments between boundaries, then merge recurring phases by
+	// centroid distance.
+	res := &Result{Boundaries: boundaries, Scores: scores}
+	starts := append([]int{0}, boundaries...)
+	var centroids [][]float64
+	for si, start := range starts {
+		end := n
+		if si+1 < len(starts) {
+			end = starts[si+1]
+		}
+		c := winMean(start, end)
+		phase := -1
+		for pi, pc := range centroids {
+			var d float64
+			for j := range c {
+				dd := c[j] - pc[j]
+				d += dd * dd
+			}
+			if math.Sqrt(d) <= opts.MergeRadius {
+				phase = pi
+				break
+			}
+		}
+		if phase < 0 {
+			phase = len(centroids)
+			centroids = append(centroids, c)
+		}
+		res.Segments = append(res.Segments, Segment{Start: start, End: end, Phase: phase})
+	}
+	res.NumPhases = len(centroids)
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Agreement scores a detection against ground-truth phase labels: the
+// fraction of interval pairs (sampled on a stride for efficiency) that
+// the detection and the truth agree on being same-phase or
+// different-phase — a Rand-index style measure in [0, 1].
+func Agreement(r *Result, truth []int) (float64, error) {
+	n := 0
+	for _, s := range r.Segments {
+		if s.End > n {
+			n = s.End
+		}
+	}
+	if n != len(truth) {
+		return 0, fmt.Errorf("phasedet: truth length %d, detection covers %d", len(truth), n)
+	}
+	var agree, total float64
+	stride := 1
+	if n > 400 {
+		stride = n / 400
+	}
+	for i := 0; i < n; i += stride {
+		for j := i + stride; j < n; j += stride {
+			samePred := r.PhaseOf(i) == r.PhaseOf(j)
+			sameTrue := truth[i] == truth[j]
+			if samePred == sameTrue {
+				agree++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, errors.New("phasedet: nothing to compare")
+	}
+	return agree / total, nil
+}

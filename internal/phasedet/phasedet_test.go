@@ -1,0 +1,170 @@
+package phasedet
+
+import (
+	"testing"
+
+	"specchar/internal/dataset"
+)
+
+// phasedRows builds a sequence with known phase structure: each entry of
+// pattern is (phase id, length); each phase id has a distinct mean vector.
+func phasedRows(pattern [][2]int, noise float64, seed uint64) (rows [][]float64, truth []int) {
+	r := dataset.NewRNG(seed)
+	means := [][]float64{
+		{0, 0, 0},
+		{4, 0, 1},
+		{0, 5, -2},
+		{3, 3, 3},
+	}
+	for _, pl := range pattern {
+		phase, length := pl[0], pl[1]
+		for i := 0; i < length; i++ {
+			row := make([]float64, 3)
+			for j := range row {
+				row[j] = means[phase][j] + r.Normal(0, noise)
+			}
+			rows = append(rows, row)
+			truth = append(truth, phase)
+		}
+	}
+	return rows, truth
+}
+
+func TestDetectTwoPhases(t *testing.T) {
+	rows, truth := phasedRows([][2]int{{0, 60}, {1, 60}}, 0.3, 1)
+	res, err := Detect(rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boundaries) != 1 {
+		t.Fatalf("boundaries = %v, want exactly 1", res.Boundaries)
+	}
+	if b := res.Boundaries[0]; b < 55 || b > 65 {
+		t.Errorf("boundary at %d, want ~60", b)
+	}
+	if res.NumPhases != 2 {
+		t.Errorf("NumPhases = %d, want 2", res.NumPhases)
+	}
+	ag, err := Agreement(res, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag < 0.95 {
+		t.Errorf("agreement = %v, want near 1", ag)
+	}
+}
+
+func TestDetectRecurringPhase(t *testing.T) {
+	// A-B-A: the two A segments must merge into one recurring phase.
+	rows, truth := phasedRows([][2]int{{0, 50}, {1, 50}, {0, 50}}, 0.3, 2)
+	res, err := Detect(rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boundaries) != 2 {
+		t.Fatalf("boundaries = %v, want 2", res.Boundaries)
+	}
+	if res.NumPhases != 2 {
+		t.Errorf("NumPhases = %d, want 2 (A recurs)", res.NumPhases)
+	}
+	if res.Segments[0].Phase != res.Segments[2].Phase {
+		t.Error("recurring segments not merged")
+	}
+	ag, _ := Agreement(res, truth)
+	if ag < 0.9 {
+		t.Errorf("agreement = %v", ag)
+	}
+}
+
+func TestDetectStablePhaseHasNoBoundaries(t *testing.T) {
+	rows, _ := phasedRows([][2]int{{0, 120}}, 0.5, 3)
+	res, err := Detect(rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boundaries) != 0 {
+		t.Errorf("stable sequence produced boundaries %v", res.Boundaries)
+	}
+	if res.NumPhases != 1 {
+		t.Errorf("NumPhases = %d, want 1", res.NumPhases)
+	}
+}
+
+func TestDetectThreeDistinctPhases(t *testing.T) {
+	rows, truth := phasedRows([][2]int{{0, 40}, {1, 40}, {2, 40}}, 0.25, 4)
+	res, err := Detect(rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPhases != 3 {
+		t.Errorf("NumPhases = %d, want 3", res.NumPhases)
+	}
+	ag, _ := Agreement(res, truth)
+	if ag < 0.9 {
+		t.Errorf("agreement = %v", ag)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(nil, Options{}); err != ErrTooShort {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+	rows, _ := phasedRows([][2]int{{0, 5}}, 0.1, 5)
+	if _, err := Detect(rows, Options{Window: 8}); err != ErrTooShort {
+		t.Errorf("short err = %v", err)
+	}
+	bad := [][]float64{{1, 2}, {1}, {1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}}
+	if _, err := Detect(bad, Options{Window: 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	rows, _ := phasedRows([][2]int{{0, 60}, {1, 60}}, 0.3, 6)
+	res, _ := Detect(rows, Options{})
+	if res.PhaseOf(10) != res.PhaseOf(20) {
+		t.Error("intervals in the same segment disagree")
+	}
+	if res.PhaseOf(10) == res.PhaseOf(100) {
+		t.Error("intervals across the boundary agree")
+	}
+	if res.PhaseOf(-1) != -1 || res.PhaseOf(10_000) != -1 {
+		t.Error("out-of-range PhaseOf should be -1")
+	}
+}
+
+func TestAgreementErrors(t *testing.T) {
+	rows, truth := phasedRows([][2]int{{0, 60}, {1, 60}}, 0.3, 7)
+	res, _ := Detect(rows, Options{})
+	if _, err := Agreement(res, truth[:10]); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestDetectConstantColumns(t *testing.T) {
+	// All-constant features: no boundaries, no NaN.
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{1, 1, 1}
+	}
+	res, err := Detect(rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boundaries) != 0 || res.NumPhases != 1 {
+		t.Errorf("constant sequence: %+v", res)
+	}
+	for _, s := range res.Scores {
+		if s != s { // NaN check
+			t.Fatal("NaN score")
+		}
+	}
+}
+
+func TestDetectSensitivityToThreshold(t *testing.T) {
+	rows, _ := phasedRows([][2]int{{0, 60}, {1, 60}}, 0.3, 8)
+	strict, _ := Detect(rows, Options{Threshold: 1000})
+	if len(strict.Boundaries) != 0 {
+		t.Errorf("huge threshold still found boundaries: %v", strict.Boundaries)
+	}
+}

@@ -1,0 +1,87 @@
+package pmu
+
+import (
+	"fmt"
+
+	"specchar/internal/dataset"
+)
+
+// Multiplexer models the Core 2 counter arrangement: three fixed counters
+// (core cycles, instructions, reference cycles) are always live, while
+// ProgCounters programmable counters rotate round-robin over the
+// programmable events. One full rotation over all events constitutes one
+// sample; each programmable event is therefore observed during only one
+// sub-window of the sample and its count is taken as representative of the
+// whole sample — the source of the multiplexing noise present in the
+// paper's data.
+type Multiplexer struct {
+	// ProgCounters is the number of simultaneously-programmable counters
+	// (2 on the paper's Core 2 Duo).
+	ProgCounters int
+
+	// Enabled selects between the multiplexed observation model (true,
+	// matching the hardware) and ideal whole-sample observation (false),
+	// which is useful for the multiplexing-noise ablation (experiment A4).
+	Enabled bool
+}
+
+// NewMultiplexer returns the paper's configuration: two programmable
+// counters, multiplexing enabled.
+func NewMultiplexer() *Multiplexer {
+	return &Multiplexer{ProgCounters: 2, Enabled: true}
+}
+
+// Windows returns the number of measurement sub-windows needed for one
+// full rotation over the programmable events.
+func (m *Multiplexer) Windows() int {
+	p := m.ProgCounters
+	if p < 1 {
+		p = 1
+	}
+	return (int(NumEvents) + p - 1) / p
+}
+
+// Observe converts one rotation's worth of per-window true counts into a
+// normalized sample: per-instruction densities for each programmable event
+// and the CPI over the full rotation. rotation shifts the event→window
+// assignment, modeling the drift of the rotation phase across samples.
+//
+// The number of windows must equal Windows().
+func (m *Multiplexer) Observe(windows []Counts, rotation int) (x []float64, cpi float64, err error) {
+	w := m.Windows()
+	if len(windows) != w {
+		return nil, 0, fmt.Errorf("pmu: Observe needs %d windows, got %d", w, len(windows))
+	}
+	var total Counts
+	for _, win := range windows {
+		total.Add(win)
+	}
+	if total.Instructions == 0 {
+		return nil, 0, fmt.Errorf("pmu: observation with zero instructions")
+	}
+	x = make([]float64, NumEvents)
+	for e := 0; e < int(NumEvents); e++ {
+		if !m.Enabled {
+			// Ideal observation: the true density over the whole sample.
+			x[e] = total.Ev[e] / total.Instructions
+			continue
+		}
+		win := windows[((e/m.ProgCounters)+rotation)%w]
+		if win.Instructions == 0 {
+			x[e] = 0
+			continue
+		}
+		x[e] = win.Ev[e] / win.Instructions
+	}
+	return x, total.CPI(), nil
+}
+
+// Sample runs Observe and packages the result as a dataset sample with the
+// given benchmark label.
+func (m *Multiplexer) Sample(windows []Counts, rotation int, label string) (dataset.Sample, error) {
+	x, cpi, err := m.Observe(windows, rotation)
+	if err != nil {
+		return dataset.Sample{}, err
+	}
+	return dataset.Sample{X: x, Y: cpi, Label: label}, nil
+}

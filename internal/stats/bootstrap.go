@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// IntSource supplies the resampling randomness for the bootstrap
+// functions; dataset.RNG satisfies it.
+type IntSource interface {
+	// Intn returns a uniform integer in [0, n).
+	Intn(n int) int
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns the interval's length.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// MeanCI returns the Student-t confidence interval for the mean of xs at
+// the given level (e.g. 0.95).
+func MeanCI(xs []float64, level float64) (Interval, error) {
+	n := len(xs)
+	if n < 2 {
+		return Interval{}, ErrTooFew
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	m := Mean(xs)
+	se := StdDev(xs) / math.Sqrt(float64(n))
+	t := StudentTQuantile(0.5+level/2, float64(n-1))
+	return Interval{Lo: m - t*se, Hi: m + t*se, Level: level}, nil
+}
+
+// BootstrapCI computes a percentile bootstrap confidence interval for an
+// arbitrary statistic of xs: resamples the data with replacement `rounds`
+// times, evaluates the statistic on each resample, and returns the
+// percentile interval at the given level. Deterministic for a fixed rng.
+//
+// This is the distribution-free companion to the parametric t-machinery
+// the paper uses — handy for statistics (median, MAE, correlation) whose
+// sampling distribution is awkward.
+func BootstrapCI(xs []float64, level float64, rounds int,
+	statistic func([]float64) float64, rng IntSource,
+) (Interval, error) {
+	n := len(xs)
+	if n < 2 {
+		return Interval{}, ErrTooFew
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	if rounds < 10 {
+		return Interval{}, errors.New("stats: bootstrap needs at least 10 rounds")
+	}
+	stats := make([]float64, rounds)
+	resample := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(n)]
+		}
+		stats[r] = statistic(resample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(rounds))
+	hi := int((1 - alpha) * float64(rounds))
+	if hi >= rounds {
+		hi = rounds - 1
+	}
+	return Interval{Lo: stats[lo], Hi: stats[hi], Level: level}, nil
+}
+
+// BootstrapMeanDiffCI bootstraps the difference of means between two
+// independent samples (x - y), the resampling analogue of the paper's
+// two-sample comparison.
+func BootstrapMeanDiffCI(x, y []float64, level float64, rounds int, rng IntSource) (Interval, error) {
+	if len(x) < 2 || len(y) < 2 {
+		return Interval{}, ErrTooFew
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	if rounds < 10 {
+		return Interval{}, errors.New("stats: bootstrap needs at least 10 rounds")
+	}
+	diffs := make([]float64, rounds)
+	rx := make([]float64, len(x))
+	ry := make([]float64, len(y))
+	for r := 0; r < rounds; r++ {
+		for i := range rx {
+			rx[i] = x[rng.Intn(len(x))]
+		}
+		for i := range ry {
+			ry[i] = y[rng.Intn(len(y))]
+		}
+		diffs[r] = Mean(rx) - Mean(ry)
+	}
+	sort.Float64s(diffs)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(rounds))
+	hi := int((1 - alpha) * float64(rounds))
+	if hi >= rounds {
+		hi = rounds - 1
+	}
+	return Interval{Lo: diffs[lo], Hi: diffs[hi], Level: level}, nil
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func normalData(seed uint64, n int, mu, sigma float64) []float64 {
+	r := rng(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.normal(mu, sigma)
+	}
+	return out
+}
+
+func newSource(seed uint64) *rng { s := rng(seed); return &s }
+
+func TestMeanCICoversTrueMean(t *testing.T) {
+	// Repeated draws: the 95% CI should contain the true mean roughly 95%
+	// of the time; assert loosely (>85% over 200 trials).
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		xs := normalData(uint64(i+1), 50, 10, 2)
+		iv, err := MeanCI(xs, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(10) {
+			hits++
+		}
+	}
+	if hits < trials*85/100 {
+		t.Errorf("95%% CI covered the true mean only %d/%d times", hits, trials)
+	}
+}
+
+func TestMeanCIShrinksWithN(t *testing.T) {
+	small, _ := MeanCI(normalData(1, 20, 0, 1), 0.95)
+	large, _ := MeanCI(normalData(1, 2000, 0, 1), 0.95)
+	if large.Width() >= small.Width() {
+		t.Errorf("CI did not shrink: n=20 width %v, n=2000 width %v", small.Width(), large.Width())
+	}
+}
+
+func TestMeanCIErrors(t *testing.T) {
+	if _, err := MeanCI([]float64{1}, 0.95); err != ErrTooFew {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := MeanCI([]float64{1, 2}, 1.5); err == nil {
+		t.Error("bad level should error")
+	}
+}
+
+func TestBootstrapCIMean(t *testing.T) {
+	xs := normalData(3, 200, 5, 1)
+	iv, err := BootstrapCI(xs, 0.95, 500, Mean, newSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(Mean(xs)) {
+		t.Errorf("bootstrap CI %+v does not contain the sample mean %v", iv, Mean(xs))
+	}
+	// Should roughly agree with the t interval.
+	tiv, _ := MeanCI(xs, 0.95)
+	if math.Abs(iv.Lo-tiv.Lo) > 0.1 || math.Abs(iv.Hi-tiv.Hi) > 0.1 {
+		t.Errorf("bootstrap %+v far from t interval %+v", iv, tiv)
+	}
+}
+
+func TestBootstrapCIMedian(t *testing.T) {
+	// Skewed data: the median CI must work where t-intervals don't apply.
+	r := newSource(9)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = r.exponential(2)
+	}
+	iv, err := BootstrapCI(xs, 0.9, 400, Median, newSource(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := Median(xs)
+	if !iv.Contains(med) {
+		t.Errorf("median CI %+v misses sample median %v", iv, med)
+	}
+	// The exponential(2) median is 2*ln2 ~ 1.386.
+	if !iv.Contains(2 * math.Ln2) {
+		t.Logf("note: CI %+v excludes true median %v (possible but rare)", iv, 2*math.Ln2)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := normalData(4, 100, 0, 1)
+	iv1, _ := BootstrapCI(xs, 0.95, 200, Mean, newSource(5))
+	iv2, _ := BootstrapCI(xs, 0.95, 200, Mean, newSource(5))
+	if iv1 != iv2 {
+		t.Error("bootstrap not deterministic for equal seeds")
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	xs := normalData(6, 50, 0, 1)
+	if _, err := BootstrapCI([]float64{1}, 0.95, 100, Mean, newSource(1)); err != ErrTooFew {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := BootstrapCI(xs, 2, 100, Mean, newSource(1)); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := BootstrapCI(xs, 0.95, 2, Mean, newSource(1)); err == nil {
+		t.Error("too few rounds should error")
+	}
+}
+
+func TestBootstrapMeanDiffCI(t *testing.T) {
+	x := normalData(12, 300, 1.0, 0.5)
+	y := normalData(13, 300, 1.3, 0.5)
+	iv, err := BootstrapMeanDiffCI(x, y, 0.95, 500, newSource(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True difference is -0.3; zero must be excluded (the bootstrap
+	// analogue of rejecting H0).
+	if !iv.Contains(-0.3) {
+		t.Errorf("CI %+v misses the true difference -0.3", iv)
+	}
+	if iv.Contains(0) {
+		t.Errorf("CI %+v should exclude 0 for clearly shifted samples", iv)
+	}
+	// Same distribution: CI contains zero.
+	z := normalData(15, 300, 1.0, 0.5)
+	iv, err = BootstrapMeanDiffCI(x, z, 0.95, 500, newSource(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(0) {
+		t.Errorf("same-distribution CI %+v should contain 0", iv)
+	}
+	if _, err := BootstrapMeanDiffCI(x[:1], y, 0.95, 100, newSource(1)); err != ErrTooFew {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := BootstrapMeanDiffCI(x, y, 0, 100, newSource(1)); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := BootstrapMeanDiffCI(x, y, 0.95, 1, newSource(1)); err == nil {
+		t.Error("too few rounds should error")
+	}
+}

@@ -1,0 +1,129 @@
+package suites
+
+import "specchar/internal/trace"
+
+// CPU2000 returns a synthetic stand-in for SPEC CPU2000, the suite that
+// CPU2006 replaced (the paper opens with that lineage, and its
+// related-work section's subsetting studies [11] used CPU2000). The
+// workloads share the archetypes of their CPU2006 successors but with
+// the smaller working sets of 2000-era reference inputs, making this the
+// "similar but not identical" suite for the lineage-transferability
+// experiment: the CPU2006 model should transfer far better to CPU2000
+// than to OMP2001, but not as cleanly as to held-out CPU2006 data.
+func CPU2000() *Suite {
+	return &Suite{
+		Name: "SPEC CPU2000",
+		Benchmarks: []Benchmark{
+			{
+				Name: "164.gzip", Lang: "C", Domain: "compression", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.6, 0.3, 0.12, 0.13, 0.01, 0, 0),
+					tlbBoundPhase(0.25, 120, 0.08),
+					branchyPhase(0.15, 0.4, 8),
+				},
+			},
+			{
+				Name: "175.vpr", Lang: "C", Domain: "FPGA place & route", Weight: 0.9,
+				Phases: []trace.Phase{
+					tlbBoundPhase(0.5, 300, 0.1),
+					branchyPhase(0.3, 0.45, 16),
+					computePhase(0.2, 0.3, 0.1, 0.14, 0.02, 0, 0),
+				},
+			},
+			{
+				Name: "176.gcc", Lang: "C", Domain: "compiler", Weight: 0.9,
+				Phases: []trace.Phase{
+					icachePhase(0.45, 128),
+					branchyPhase(0.35, 0.3, 48),
+					tlbBoundPhase(0.2, 350, 0.1),
+				},
+			},
+			{
+				Name: "181.mcf", Lang: "C", Domain: "vehicle scheduling", Weight: 0.8,
+				Phases: []trace.Phase{
+					// The 2000-era mcf: smaller graph, still pointer-bound.
+					memBoundPhase(0.75, 48, 0.35),
+					tlbBoundPhase(0.25, 900, 0.2),
+				},
+			},
+			{
+				Name: "186.crafty", Lang: "C", Domain: "chess AI", Weight: 1.0,
+				Phases: []trace.Phase{
+					branchyPhase(0.6, 0.5, 16),
+					computePhase(0.4, 0.28, 0.1, 0.18, 0.01, 0, 0),
+				},
+			},
+			{
+				Name: "197.parser", Lang: "C", Domain: "NL parsing", Weight: 1.0,
+				Phases: []trace.Phase{
+					branchyPhase(0.45, 0.4, 16),
+					tlbBoundPhase(0.35, 260, 0.09),
+					computePhase(0.2, 0.3, 0.1, 0.14, 0.01, 0, 0),
+				},
+			},
+			{
+				Name: "253.perlbmk", Lang: "C", Domain: "interpreter", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.5, 0.28, 0.12, 0.16, 0.01, 0, 0),
+					branchyPhase(0.3, 0.35, 32),
+					icachePhase(0.2, 64),
+				},
+			},
+			{
+				Name: "255.vortex", Lang: "C", Domain: "object database", Weight: 0.9,
+				Phases: []trace.Phase{
+					icachePhase(0.4, 96),
+					tlbBoundPhase(0.4, 420, 0.1),
+					computePhase(0.2, 0.3, 0.12, 0.12, 0.01, 0, 0),
+				},
+			},
+			{
+				Name: "256.bzip2", Lang: "C", Domain: "compression", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.55, 0.3, 0.12, 0.14, 0.01, 0, 0),
+					tlbBoundPhase(0.25, 140, 0.09),
+					branchyPhase(0.2, 0.45, 12),
+				},
+			},
+			{
+				Name: "300.twolf", Lang: "C", Domain: "place & route", Weight: 0.9,
+				Phases: []trace.Phase{
+					tlbBoundPhase(0.55, 280, 0.1),
+					branchyPhase(0.25, 0.4, 12),
+					computePhase(0.2, 0.3, 0.1, 0.12, 0.02, 0, 0),
+				},
+			},
+			{
+				Name: "177.mesa", Lang: "C", Domain: "3D graphics", Weight: 1.1,
+				Phases: []trace.Phase{
+					computePhase(0.6, 0.3, 0.11, 0.1, 0.04, 0.002, 0.08),
+					simdPhase(0.4, 0.3, 0.04, 384),
+				},
+			},
+			{
+				Name: "179.art", Lang: "C", Domain: "image recognition", Weight: 0.9,
+				Phases: []trace.Phase{
+					streamPhase(0.55, 4, 0),
+					branchyPhase(0.25, 0.45, 8),
+					computePhase(0.2, 0.3, 0.1, 0.12, 0.02, 0, 0.02),
+				},
+			},
+			{
+				Name: "183.equake", Lang: "C", Domain: "earthquake modeling", Weight: 1.0,
+				Phases: []trace.Phase{
+					streamPhase(0.45, 6, 0.25),
+					simdPhase(0.3, 0.35, 0.04, 512),
+					computePhase(0.25, 0.3, 0.1, 0.1, 0.03, 0, 0.06),
+				},
+			},
+			{
+				Name: "188.ammp", Lang: "C", Domain: "molecular mechanics", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.5, 0.31, 0.1, 0.09, 0.04, 0.003, 0.07),
+					tlbBoundPhase(0.3, 200, 0.08),
+					streamPhase(0.2, 4, 0.2),
+				},
+			},
+		},
+	}
+}

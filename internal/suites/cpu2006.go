@@ -1,0 +1,283 @@
+package suites
+
+import "specchar/internal/trace"
+
+// CPU2006 returns the synthetic SPEC CPU2006 suite: all 29 benchmarks
+// (reference inputs), with phase profiles shaped from the behaviour the
+// paper reports for each. The structural targets, in the paper's terms:
+//
+//   - a large cache-resident low-CPI population (hmmer, namd, gromacs,
+//     calculix, dealII and parts of many others) that lands in one rich
+//     linear model (the paper's LM1, 45% of samples);
+//   - DTLB pressure as the top performance discriminator, partly
+//     decorrelated from L2 misses (omnetpp/soplex vs libquantum/leslie3d);
+//   - mcf and GemsFDTD as memory-bound extremes, dissimilar from
+//     everything and from each other (branch behaviour differs);
+//   - sphinx3 as the lone split-load workload, lbm and cactusADM as the
+//     SIMD-dominated pair separated by L2 traffic.
+func CPU2006() *Suite {
+	return &Suite{
+		Name: "SPEC CPU2006",
+		Benchmarks: []Benchmark{
+			{
+				Name: "400.perlbench", Lang: "C", Domain: "interpreter", Weight: 1.1,
+				Phases: []trace.Phase{
+					computePhase(0.55, 0.28, 0.12, 0.16, 0.01, 0, 0),
+					branchyPhase(0.30, 0.35, 48),
+					icachePhase(0.15, 96),
+				},
+			},
+			{
+				Name: "401.bzip2", Lang: "C", Domain: "compression", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.5, 0.3, 0.12, 0.14, 0.01, 0, 0),
+					tlbBoundPhase(0.3, 180, 0.10),
+					branchyPhase(0.2, 0.45, 12),
+				},
+			},
+			{
+				Name: "403.gcc", Lang: "C", Domain: "compiler", Weight: 0.9,
+				Phases: []trace.Phase{
+					icachePhase(0.45, 192),
+					branchyPhase(0.3, 0.3, 64),
+					tlbBoundPhase(0.25, 600, 0.12),
+				},
+			},
+			{
+				Name: "429.mcf", Lang: "C", Domain: "vehicle scheduling", Weight: 0.8,
+				Phases: []trace.Phase{
+					memBoundPhase(0.8, 96, 0.35),
+					tlbBoundPhase(0.2, 1500, 0.25),
+				},
+			},
+			{
+				Name: "445.gobmk", Lang: "C", Domain: "go-playing AI", Weight: 1.0,
+				Phases: []trace.Phase{
+					branchyPhase(0.6, 0.55, 24),
+					computePhase(0.4, 0.27, 0.1, 0.2, 0.01, 0, 0),
+				},
+			},
+			{
+				Name: "456.hmmer", Lang: "C", Domain: "HMM sequence search", Weight: 1.2,
+				Phases: []trace.Phase{
+					// Almost pure cache-resident compute: >90% of its
+					// samples should land in the big low-CPI model.
+					computePhase(0.95, 0.32, 0.1, 0.1, 0.03, 0, 0.04),
+					branchyPhase(0.05, 0.2, 8),
+				},
+			},
+			{
+				Name: "458.sjeng", Lang: "C", Domain: "chess AI", Weight: 1.0,
+				Phases: []trace.Phase{
+					branchyPhase(0.55, 0.5, 24),
+					tlbBoundPhase(0.45, 320, 0.10),
+				},
+			},
+			{
+				Name: "462.libquantum", Lang: "C", Domain: "quantum simulation", Weight: 1.3,
+				Phases: []trace.Phase{
+					streamPhase(0.85, 48, 0),
+					computePhase(0.15, 0.3, 0.1, 0.12, 0.02, 0, 0),
+				},
+			},
+			{
+				Name: "464.h264ref", Lang: "C", Domain: "video encoding", Weight: 1.2,
+				Phases: []trace.Phase{
+					computePhase(0.45, 0.3, 0.12, 0.1, 0.03, 0, 0.08),
+					simdPhase(0.25, 0.3, 0.06, 512),
+					tlbBoundPhase(0.3, 200, 0.08),
+				},
+			},
+			{
+				Name: "471.omnetpp", Lang: "C++", Domain: "discrete-event simulation", Weight: 0.9,
+				Phases: []trace.Phase{
+					// DTLB misses + L2 misses + mispredicted branches and a
+					// dash of overlapped-store blocks: the paper's LM24
+					// signature with CPI ~2.1.
+					{
+						Name: "omnetpp-events", Weight: 0.8,
+						LoadFrac: 0.32, StoreFrac: 0.12, BranchFrac: 0.18,
+						DataFootprint:      24 << 20,
+						PageSpread:         3000,
+						SeqFrac:            0.1,
+						HotFrac:            0.975,
+						StoreAliasRate:     0.12,
+						PartialOverlapFrac: 0.7,
+						CodeFootprint:      48 << 10,
+						BranchEntropy:      0.5,
+						ILP:                1.3,
+					},
+					tlbBoundPhase(0.2, 650, 0.12),
+				},
+			},
+			{
+				Name: "473.astar", Lang: "C++", Domain: "path-finding", Weight: 1.0,
+				Phases: []trace.Phase{
+					// Deliberately suite-average: a bit of everything.
+					computePhase(0.45, 0.3, 0.1, 0.15, 0.01, 0, 0),
+					tlbBoundPhase(0.35, 400, 0.10),
+					branchyPhase(0.2, 0.4, 16),
+				},
+			},
+			{
+				Name: "483.xalancbmk", Lang: "C++", Domain: "XML transformation", Weight: 0.9,
+				Phases: []trace.Phase{
+					icachePhase(0.5, 640),
+					branchyPhase(0.25, 0.35, 96),
+					tlbBoundPhase(0.25, 500, 0.10),
+				},
+			},
+			{
+				Name: "410.bwaves", Lang: "Fortran", Domain: "fluid dynamics", Weight: 1.2,
+				Phases: []trace.Phase{
+					streamPhase(0.7, 32, 0.3),
+					simdPhase(0.3, 0.4, 0.02, 2048),
+				},
+			},
+			{
+				Name: "416.gamess", Lang: "Fortran", Domain: "quantum chemistry", Weight: 1.3,
+				Phases: []trace.Phase{
+					computePhase(0.8, 0.3, 0.09, 0.08, 0.05, 0.008, 0.1),
+					simdPhase(0.2, 0.35, 0.01, 256),
+				},
+			},
+			{
+				Name: "433.milc", Lang: "C", Domain: "lattice QCD", Weight: 1.0,
+				Phases: []trace.Phase{
+					memBoundPhase(0.45, 48, 0.1),
+					streamPhase(0.35, 24, 0.25),
+					simdPhase(0.2, 0.3, 0.03, 1024),
+				},
+			},
+			{
+				Name: "434.zeusmp", Lang: "Fortran", Domain: "magnetohydrodynamics", Weight: 1.1,
+				Phases: []trace.Phase{
+					streamPhase(0.5, 24, 0.2),
+					computePhase(0.3, 0.3, 0.1, 0.08, 0.05, 0.004, 0.12),
+					tlbBoundPhase(0.2, 280, 0.08),
+				},
+			},
+			{
+				Name: "435.gromacs", Lang: "C/Fortran", Domain: "molecular dynamics", Weight: 1.2,
+				Phases: []trace.Phase{
+					// Cache-resident HPC compute: the paper finds it within
+					// 2% of namd and 3.3% of hmmer.
+					computePhase(0.93, 0.31, 0.1, 0.09, 0.04, 0.002, 0.07),
+					simdPhase(0.07, 0.3, 0.01, 128),
+				},
+			},
+			{
+				Name: "436.cactusADM", Lang: "Fortran/C", Domain: "general relativity", Weight: 1.0,
+				Phases: []trace.Phase{
+					// SIMD >= 91% of instructions in the paper's LM11, with
+					// few L2 misses; footprint kept inside L2.
+					simdPhase(0.85, 0.62, 0.1, 1536),
+					computePhase(0.15, 0.28, 0.1, 0.06, 0.05, 0, 0.2),
+				},
+			},
+			{
+				Name: "437.leslie3d", Lang: "Fortran", Domain: "combustion CFD", Weight: 1.1,
+				Phases: []trace.Phase{
+					streamPhase(0.75, 40, 0.25),
+					simdPhase(0.25, 0.35, 0.02, 3072),
+				},
+			},
+			{
+				Name: "444.namd", Lang: "C++", Domain: "biomolecular simulation", Weight: 1.2,
+				Phases: []trace.Phase{
+					// The paper's closest pair partner of hmmer (1.6%
+					// distance) despite being FP vs integer.
+					computePhase(0.94, 0.31, 0.1, 0.09, 0.04, 0.001, 0.06),
+					branchyPhase(0.06, 0.15, 8),
+				},
+			},
+			{
+				Name: "447.dealII", Lang: "C++", Domain: "finite elements", Weight: 1.1,
+				Phases: []trace.Phase{
+					computePhase(0.9, 0.32, 0.11, 0.1, 0.03, 0.004, 0.05),
+					tlbBoundPhase(0.1, 150, 0.06),
+				},
+			},
+			{
+				Name: "450.soplex", Lang: "C++", Domain: "linear programming", Weight: 0.9,
+				Phases: []trace.Phase{
+					// Sparse algebra: TLB-hostile but largely L2-resident.
+					tlbBoundPhase(0.6, 650, 0.15),
+					computePhase(0.25, 0.3, 0.1, 0.12, 0.03, 0.004, 0.04),
+					memBoundPhase(0.15, 24, 0.3),
+				},
+			},
+			{
+				Name: "453.povray", Lang: "C++", Domain: "ray tracing", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.6, 0.3, 0.1, 0.14, 0.04, 0.01, 0.05),
+					branchyPhase(0.4, 0.3, 32),
+				},
+			},
+			{
+				Name: "454.calculix", Lang: "Fortran/C", Domain: "structural FEM", Weight: 1.1,
+				Phases: []trace.Phase{
+					computePhase(0.92, 0.31, 0.1, 0.08, 0.05, 0.003, 0.08),
+					streamPhase(0.08, 16, 0.2),
+				},
+			},
+			{
+				Name: "459.GemsFDTD", Lang: "Fortran", Domain: "computational electromagnetics", Weight: 1.0,
+				Phases: []trace.Phase{
+					// Memory-bound like mcf but via regular sweeps with few
+					// branches — dissimilar from mcf in the profile space.
+					streamPhase(0.55, 96, 0.2),
+					memBoundPhase(0.45, 64, 0.05),
+				},
+			},
+			{
+				Name: "465.tonto", Lang: "Fortran", Domain: "quantum crystallography", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.65, 0.29, 0.1, 0.09, 0.09, 0.012, 0.08),
+					simdPhase(0.2, 0.3, 0.02, 512),
+					tlbBoundPhase(0.15, 220, 0.08),
+				},
+			},
+			{
+				Name: "470.lbm", Lang: "C", Domain: "lattice Boltzmann CFD", Weight: 1.2,
+				Phases: []trace.Phase{
+					// High SIMD content (>=77% in the paper's LM5) plus
+					// overlapped-store load blocks and streaming L2 traffic.
+					{
+						Name: "lbm-kernel", Weight: 0.75,
+						LoadFrac: 0.22, StoreFrac: 0.12, BranchFrac: 0.04,
+						SIMDFrac:           0.5,
+						DataFootprint:      48 << 20,
+						SeqFrac:            0.93,
+						HotFrac:            0.8,
+						AccessSize:         16,
+						StoreAliasRate:     0.14,
+						PartialOverlapFrac: 0.75,
+						CodeFootprint:      4 << 10,
+						BranchEntropy:      0.02,
+						ILP:                2.4,
+					},
+					streamPhase(0.25, 48, 0.35),
+				},
+			},
+			{
+				Name: "481.wrf", Lang: "Fortran/C", Domain: "weather modeling", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.4, 0.3, 0.1, 0.1, 0.04, 0.003, 0.1),
+					streamPhase(0.3, 24, 0.25),
+					simdPhase(0.15, 0.35, 0.03, 1024),
+					tlbBoundPhase(0.15, 260, 0.08),
+				},
+			},
+			{
+				Name: "482.sphinx3", Lang: "C", Domain: "speech recognition", Weight: 1.0,
+				Phases: []trace.Phase{
+					// The only workload with heavy cache-line-split loads
+					// (the paper's LM18: 72.7% of sphinx3's samples).
+					splitPhase(0.75),
+					computePhase(0.25, 0.3, 0.09, 0.1, 0.03, 0, 0.08),
+				},
+			},
+		},
+	}
+}

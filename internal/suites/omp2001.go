@@ -1,0 +1,152 @@
+package suites
+
+import "specchar/internal/trace"
+
+// OMP2001 returns the synthetic SPEC OMP2001 suite (medium input set, the
+// 11 workloads the paper's Section V covers). Structural targets, in the
+// paper's terms:
+//
+//   - loads blocked by overlapped stores (LdBlkOlp) as the root
+//     performance factor, affecting about half the suite (the LM17/LM18
+//     population), with the store rate separating the two big classes;
+//   - mgrid and ammp dominated by the low-store overlap class (LM17);
+//     fma3d and galgel by the high-store class (LM18);
+//   - applu and swim dominated by very high SIMD rates (the LM13..LM16
+//     region), applu with a high multiply rate as well;
+//   - art driven by branch mispredicts with low SIMD; wupwise and gafort
+//     low-CPI and diverse; equake spread across most classes.
+//
+// The suite is deliberately disjoint from CPU2006 in its dominant factors,
+// which is what makes the cross-suite transferability tests fail as in
+// the paper.
+// ompBranchy strips the CPU-suite TLB pressure from branchyPhase: OMP
+// codes keep blocked, page-local data even in control-heavy sections.
+func ompBranchy(weight, entropy float64, codeKB int) trace.Phase {
+	p := branchyPhase(weight, entropy, codeKB)
+	p.PageSpread = 0
+	p.DataFootprint = 192 << 10
+	return p
+}
+
+func OMP2001() *Suite {
+	return &Suite{
+		Name: "SPEC OMP2001",
+		Benchmarks: []Benchmark{
+			{
+				Name: "310.wupwise_m", Lang: "Fortran", Domain: "quantum chromodynamics", Weight: 1.1,
+				Phases: []trace.Phase{
+					computePhase(0.45, 0.3, 0.1, 0.08, 0.05, 0.002, 0.1),
+					simdPhase(0.3, 0.4, 0.02, 768),
+					aliasPhase(0.25, 0.2, 0.3, 0.12),
+				},
+			},
+			{
+				Name: "312.swim_m", Lang: "Fortran", Domain: "shallow water modeling", Weight: 1.2,
+				Phases: []trace.Phase{
+					// ~90% of its samples in the high-SIMD region.
+					simdPhase(0.65, 0.58, 0.04, 1024),
+					streamPhase(0.35, 6, 0.45),
+				},
+			},
+			{
+				Name: "314.mgrid_m", Lang: "Fortran", Domain: "multigrid solver", Weight: 1.2,
+				Phases: []trace.Phase{
+					// Overlapped-store blocks with a modest store rate:
+					// three quarters of its time in the paper's LM17.
+					aliasPhase(0.78, 0.72, 0.85, 0.055),
+					streamPhase(0.22, 6, 0.3),
+				},
+			},
+			{
+				Name: "316.applu_m", Lang: "Fortran", Domain: "parabolic/elliptic PDEs", Weight: 1.0,
+				Phases: []trace.Phase{
+					// High SIMD and high multiply rates; the paper reports
+					// CPI 1.99 dominated by its LM16-like class.
+					{
+						Name: "applu-ssor", Weight: 0.7,
+						LoadFrac: 0.2, StoreFrac: 0.07, BranchFrac: 0.04,
+						MulFrac: 0.12, SIMDFrac: 0.5,
+						DataFootprint: 1 << 20, // TLB- and L2-resident: applu stalls on SIMD chains, not memory
+						SeqFrac:       0.8,
+						HotFrac:       0.4,
+						AccessSize:    16,
+						MisalignRate:  0.12,
+						CodeFootprint: 6 << 10,
+						BranchEntropy: 0.03,
+						ILP:           1.4, // long dependence chains keep SIMD units waiting
+					},
+					simdPhase(0.3, 0.45, 0.08, 2048),
+				},
+			},
+			{
+				Name: "318.galgel_m", Lang: "Fortran", Domain: "fluid dynamics (Galerkin)", Weight: 1.0,
+				Phases: []trace.Phase{
+					// Virtually all samples in the overlap+stores class
+					// (the paper's LM18, CPI ~1.49).
+					aliasPhase(0.92, 0.4, 0.85, 0.16),
+					computePhase(0.08, 0.3, 0.1, 0.08, 0.05, 0, 0.1),
+				},
+			},
+			{
+				Name: "320.equake_m", Lang: "C", Domain: "earthquake modeling", Weight: 1.0,
+				Phases: []trace.Phase{
+					// Every suite factor represented to a measurable
+					// degree; CPI within 10% of the suite mean.
+					simdPhase(0.3, 0.4, 0.05, 1024),
+					aliasPhase(0.25, 0.3, 0.7, 0.08),
+					streamPhase(0.2, 6, 0.3),
+					ompBranchy(0.15, 0.45, 16),
+					computePhase(0.1, 0.3, 0.1, 0.1, 0.03, 0, 0.08),
+				},
+			},
+			{
+				Name: "324.apsi_m", Lang: "Fortran", Domain: "air pollution modeling", Weight: 1.0,
+				Phases: []trace.Phase{
+					// Store-heavy with tight (non-overlap) dependences:
+					// LdBlkStA blocks and page walks.
+					aliasPhase(0.6, 0.45, 0.15, 0.14),
+					tlbBoundPhase(0.22, 300, 0.10),
+					simdPhase(0.18, 0.35, 0.03, 512),
+				},
+			},
+			{
+				Name: "326.gafort_m", Lang: "Fortran", Domain: "genetic algorithm", Weight: 1.0,
+				Phases: []trace.Phase{
+					// The suite's dominant factors (overlap blocks, SIMD,
+					// stores) are absent: moderate scalar compute.
+					computePhase(0.55, 0.3, 0.09, 0.12, 0.04, 0.002, 0.05),
+					ompBranchy(0.25, 0.3, 16),
+					tlbBoundPhase(0.2, 200, 0.07),
+				},
+			},
+			{
+				Name: "328.fma3d_m", Lang: "Fortran", Domain: "crash simulation (FEM)", Weight: 1.1,
+				Phases: []trace.Phase{
+					// Almost all samples in the overlap+stores class (LM18).
+					aliasPhase(0.95, 0.4, 0.85, 0.17),
+					streamPhase(0.05, 6, 0.2),
+				},
+			},
+			{
+				Name: "330.art_m", Lang: "C", Domain: "image recognition (neural net)", Weight: 0.9,
+				Phases: []trace.Phase{
+					// Low SIMD, mispredict-driven with L2 traffic: the
+					// low-SIMD branch of the OMP tree.
+					ompBranchy(0.5, 0.45, 12),
+					streamPhase(0.25, 6, 0),
+					computePhase(0.25, 0.3, 0.1, 0.14, 0.02, 0, 0.02),
+				},
+			},
+			{
+				Name: "332.ammp_m", Lang: "C", Domain: "molecular mechanics", Weight: 1.0,
+				Phases: []trace.Phase{
+					// Overlap blocks with few stores (LM17-like), moderate
+					// CPI.
+					aliasPhase(0.75, 0.78, 0.85, 0.05),
+					tlbBoundPhase(0.15, 240, 0.08),
+					computePhase(0.1, 0.3, 0.08, 0.1, 0.04, 0.003, 0.06),
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,162 @@
+package suites
+
+import "specchar/internal/trace"
+
+// Phase constructors. These encode the handful of microarchitectural
+// archetypes that the paper's two suites exhibit; benchmark definitions
+// compose and specialize them. Densities are calibrated so miss events are
+// a tail of execution (hot/cold access mixes), keeping CPI in the same
+// regime the paper reports (suite means near 1, worst benchmarks near 4).
+
+// computePhase is cache-resident, predictable scalar compute: the low-CPI
+// behaviour class that the paper's LM1 captures for nearly half of SPEC
+// CPU2006.
+func computePhase(weight, load, store, br, mul, div, simd float64) trace.Phase {
+	return trace.Phase{
+		Name: "compute", Weight: weight,
+		LoadFrac: load, StoreFrac: store, BranchFrac: br,
+		MulFrac: mul, DivFrac: div, SIMDFrac: simd,
+		// 64 KiB over 16 pages: zero DTLB pressure, but enough L1D misses
+		// (all L2 hits) that L1DMiss varies *within* the class — the
+		// paper's LM1 regresses on L1DMiss rather than splitting on it.
+		DataFootprint: 64 << 10, SeqFrac: 0.5, HotFrac: 0.85,
+		CodeFootprint: 4 << 10,
+		BranchEntropy: 0.04,
+		ILP:           2.6,
+	}
+}
+
+// tlbBoundPhase scatters a tail of accesses over many pages. With
+// spreadPages well above the 256-entry DTLB the phase is
+// translation-bound; the data still fits in L2, decorrelating DtlbMiss
+// from L2Miss. coldFrac is the fraction of non-sequential accesses that
+// leave the hot region.
+func tlbBoundPhase(weight float64, spreadPages int, coldFrac float64) trace.Phase {
+	return trace.Phase{
+		Name: "tlb-bound", Weight: weight,
+		LoadFrac: 0.34, StoreFrac: 0.1, BranchFrac: 0.12,
+		DataFootprint: 512 << 10,
+		PageSpread:    spreadPages,
+		SeqFrac:       0.25,
+		HotFrac:       1 - coldFrac,
+		CodeFootprint: 8 << 10,
+		BranchEntropy: 0.15,
+		ILP:           1.6,
+	}
+}
+
+// memBoundPhase misses all the way to memory: a tail of irregular
+// accesses roams a footprint far beyond L2, defeating the DTLB, L1D and
+// L2 together (the mcf/GemsFDTD extreme of the suite).
+func memBoundPhase(weight float64, footprintMB int, entropy float64) trace.Phase {
+	return trace.Phase{
+		Name: "mem-bound", Weight: weight,
+		LoadFrac: 0.36, StoreFrac: 0.08, BranchFrac: 0.14,
+		DataFootprint: footprintMB << 20,
+		SeqFrac:       0.05,
+		HotFrac:       0.94,
+		CodeFootprint: 8 << 10,
+		BranchEntropy: entropy,
+		ILP:           1.2, // dependent (pointer-chasing) misses barely overlap
+	}
+}
+
+// streamPhase walks a big array sequentially: steady prefetched L2
+// traffic with modest demand-miss and DTLB pressure — the
+// libquantum/leslie3d archetype.
+func streamPhase(weight float64, footprintMB int, simd float64) trace.Phase {
+	// Streaming kernels move wide data (unrolled or vectorized copies):
+	// 16-byte accesses keep the page-touch rate high enough that DTLB
+	// misses register every interval, as they do on real hardware.
+	const size = 16
+	return trace.Phase{
+		Name: "stream", Weight: weight,
+		LoadFrac: 0.3, StoreFrac: 0.12, BranchFrac: 0.08, SIMDFrac: simd,
+		DataFootprint: footprintMB << 20,
+		SeqFrac:       0.96,
+		HotFrac:       0.9,
+		AccessSize:    size,
+		CodeFootprint: 4 << 10,
+		BranchEntropy: 0.03,
+		ILP:           3.0, // streaming misses overlap well
+	}
+}
+
+// simdPhase is vector-dominated compute, the cactusADM/applu archetype;
+// misalign > 0 adds the unaligned-SIMD flavour of the paper's LM11.
+func simdPhase(weight, simdFrac, misalign float64, footprintKB int) trace.Phase {
+	return trace.Phase{
+		Name: "simd", Weight: weight,
+		LoadFrac: 0.2, StoreFrac: 0.07, BranchFrac: 0.04,
+		MulFrac: 0.04, SIMDFrac: simdFrac,
+		DataFootprint: footprintKB << 10,
+		SeqFrac:       0.85,
+		HotFrac:       0.75,
+		AccessSize:    16,
+		MisalignRate:  misalign,
+		CodeFootprint: 4 << 10,
+		BranchEntropy: 0.02,
+		ILP:           2.2,
+	}
+}
+
+// branchyPhase is control-flow-dominated integer work (gobmk/sjeng).
+func branchyPhase(weight, entropy float64, codeKB int) trace.Phase {
+	return trace.Phase{
+		Name: "branchy", Weight: weight,
+		LoadFrac: 0.26, StoreFrac: 0.08, BranchFrac: 0.24,
+		DataFootprint: 256 << 10, SeqFrac: 0.3, HotFrac: 0.93,
+		PageSpread:    500,
+		CodeFootprint: codeKB << 10,
+		BranchEntropy: entropy,
+		ILP:           1.8,
+	}
+}
+
+// splitPhase generates misaligned wide accesses that split cache lines,
+// the sphinx3 signature (the paper's LM18 for CPU2006).
+func splitPhase(weight float64) trace.Phase {
+	return trace.Phase{
+		Name: "split", Weight: weight,
+		LoadFrac: 0.34, StoreFrac: 0.08, BranchFrac: 0.08, SIMDFrac: 0.12,
+		DataFootprint: 1 << 20, SeqFrac: 0.7, HotFrac: 0.88,
+		PageSpread:    300,
+		AccessSize:    16,
+		MisalignRate:  0.3,
+		CodeFootprint: 8 << 10,
+		BranchEntropy: 0.08,
+		ILP:           1.9,
+	}
+}
+
+// aliasPhase produces store-to-load dependences. partialFrac steers the
+// blocks toward LdBlkOlp (partial overlaps, the OMP2001 root factor)
+// versus LdBlkStA/LdBlkStd (tight dependences).
+func aliasPhase(weight, aliasRate, partialFrac, storeFrac float64) trace.Phase {
+	return trace.Phase{
+		Name: "alias", Weight: weight,
+		LoadFrac: 0.3, StoreFrac: storeFrac, BranchFrac: 0.08, SIMDFrac: 0.08,
+		DataFootprint:      512 << 10,
+		SeqFrac:            0.5,
+		HotFrac:            0.88,
+		StoreAliasRate:     aliasRate,
+		PartialOverlapFrac: partialFrac,
+		CodeFootprint:      8 << 10,
+		BranchEntropy:      0.06,
+		ILP:                1.7,
+	}
+}
+
+// icachePhase has a hot code region far beyond L1I (gcc/xalancbmk front
+// ends).
+func icachePhase(weight float64, codeKB int) trace.Phase {
+	return trace.Phase{
+		Name: "icache", Weight: weight,
+		LoadFrac: 0.25, StoreFrac: 0.1, BranchFrac: 0.2,
+		DataFootprint: 512 << 10, SeqFrac: 0.4, HotFrac: 0.93,
+		PageSpread:    450,
+		CodeFootprint: codeKB << 10,
+		BranchEntropy: 0.25,
+		ILP:           1.8,
+	}
+}

@@ -1,0 +1,149 @@
+// Package uarch is a trace-driven model of a Core 2-class processor core:
+// set-associative L1 instruction, L1 data and L2 caches, a data TLB with a
+// hardware page walker, an instruction TLB, a gshare branch predictor, and
+// store-to-load forwarding with the three blocking conditions the paper's
+// events describe (unknown store address, unready store data, partial
+// overlap). Executing a synthetic op stream against these state machines
+// yields the per-window event counts and cycle totals that
+// internal/pmu turns into model samples.
+//
+// The simulator is statistical, not cycle-accurate: cycles accumulate
+// through an additive cost model with an ILP overlap divisor, which is all
+// the fidelity the paper's regression methodology consumes.
+package uarch
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Cache is a set-associative cache with true-LRU replacement, tracking
+// only tags (contents are irrelevant to event generation).
+type Cache struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	tags      []uint64 // sets*ways entries; tag 0 means empty (valid bit below)
+	valid     []bool
+	used      []uint64 // LRU stamps
+	tick      uint64
+}
+
+// NewCache builds a cache of the given total size, associativity, and
+// line size. Size must be divisible by ways*line and the set count must be
+// a power of two.
+func NewCache(sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, errors.New("uarch: cache dimensions must be positive")
+	}
+	if sizeBytes%(ways*lineBytes) != 0 {
+		return nil, fmt.Errorf("uarch: cache size %d not divisible by ways*line %d", sizeBytes, ways*lineBytes)
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("uarch: set count %d is not a power of two", sets)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("uarch: line size %d is not a power of two", lineBytes)
+	}
+	return &Cache{
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		used:      make([]uint64, sets*ways),
+	}, nil
+}
+
+// LineBytes returns the cache's line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Access looks up the line containing addr, inserting it on a miss
+// (evicting the LRU way). It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> bits.Len64(c.setMask)
+	base := set * c.ways
+	lruIdx, lruStamp := base, c.used[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.used[i] = c.tick
+			return true
+		}
+		if !c.valid[i] {
+			// Prefer filling an invalid way.
+			lruIdx, lruStamp = i, 0
+		} else if c.used[i] < lruStamp {
+			lruIdx, lruStamp = i, c.used[i]
+		}
+	}
+	c.tags[lruIdx] = tag
+	c.valid[lruIdx] = true
+	c.used[lruIdx] = c.tick
+	return false
+}
+
+// Splits reports whether an access of size bytes at addr crosses a line
+// boundary.
+func (c *Cache) Splits(addr uint64, size uint32) bool {
+	if size == 0 {
+		return false
+	}
+	return addr>>c.lineShift != (addr+uint64(size)-1)>>c.lineShift
+}
+
+// Reset invalidates the entire cache.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.used[i] = 0
+	}
+	c.tick = 0
+}
+
+// TLB is a set-associative translation buffer over fixed-size pages,
+// implemented as a Cache whose "lines" are pages.
+type TLB struct {
+	c         *Cache
+	pageShift uint
+}
+
+// NewTLB builds a TLB with the given number of entries, associativity,
+// and page size.
+func NewTLB(entries, ways, pageBytes int) (*TLB, error) {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("uarch: TLB entries %d not divisible by ways %d", entries, ways)
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		return nil, fmt.Errorf("uarch: page size %d is not a power of two", pageBytes)
+	}
+	// Reuse Cache with line = 1 "byte" over page numbers: we build a cache
+	// of entries sets*ways with line size 1 and feed it page numbers.
+	c, err := NewCache(entries, ways, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &TLB{c: c, pageShift: uint(bits.TrailingZeros(uint(pageBytes)))}, nil
+}
+
+// Access translates addr, inserting the page on a miss, and reports
+// whether the translation hit.
+func (t *TLB) Access(addr uint64) bool {
+	return t.c.Access(addr >> t.pageShift)
+}
+
+// SpansPages reports whether an access of size bytes at addr touches two
+// pages.
+func (t *TLB) SpansPages(addr uint64, size uint32) bool {
+	if size == 0 {
+		return false
+	}
+	return addr>>t.pageShift != (addr+uint64(size)-1)>>t.pageShift
+}
+
+// Reset invalidates all translations.
+func (t *TLB) Reset() { t.c.Reset() }

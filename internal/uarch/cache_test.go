@@ -1,0 +1,274 @@
+package uarch
+
+import "testing"
+
+func TestNewCacheValidation(t *testing.T) {
+	cases := []struct {
+		name             string
+		size, ways, line int
+	}{
+		{"zero size", 0, 8, 64},
+		{"negative ways", 1024, -1, 64},
+		{"size not divisible", 1000, 8, 64},
+		{"sets not power of two", 64 * 8 * 3, 8, 64},
+		{"line not power of two", 48 * 8 * 4, 8, 48},
+	}
+	for _, c := range cases {
+		if _, err := NewCache(c.size, c.ways, c.line); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := NewCache(32<<10, 8, 64); err != nil {
+		t.Errorf("valid cache rejected: %v", err)
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c, _ := NewCache(1024, 2, 64)
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	// Same line, different offset.
+	if !c.Access(0x103F) {
+		t.Error("same-line access should hit")
+	}
+	// Next line.
+	if c.Access(0x1040) {
+		t.Error("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets of 64B lines = 256 bytes.
+	c, _ := NewCache(256, 2, 64)
+	// Three lines mapping to the same set (stride = sets*line = 128).
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a)      // a is now MRU
+	if c.Access(d) { // evicts b (LRU)
+		t.Error("d should miss")
+	}
+	if !c.Access(a) {
+		t.Error("a should survive (was MRU)")
+	}
+	if c.Access(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheWorkingSetBehaviour(t *testing.T) {
+	// A working set that fits: after one warm pass, all hits.
+	c, _ := NewCache(32<<10, 8, 64)
+	for addr := uint64(0); addr < 16<<10; addr += 64 {
+		c.Access(addr)
+	}
+	for addr := uint64(0); addr < 16<<10; addr += 64 {
+		if !c.Access(addr) {
+			t.Fatalf("warm access to %#x missed", addr)
+		}
+	}
+	// A working set 4x the cache streams: every access misses when
+	// cycling sequentially (LRU worst case).
+	misses := 0
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 128<<10; addr += 64 {
+			if !c.Access(addr) {
+				misses++
+			}
+		}
+	}
+	total := 2 * (128 << 10) / 64
+	if misses < total*9/10 {
+		t.Errorf("streaming working set: %d/%d misses, expected ~all", misses, total)
+	}
+}
+
+func TestCacheSplits(t *testing.T) {
+	c, _ := NewCache(1024, 2, 64)
+	if c.Splits(0, 8) {
+		t.Error("aligned 8B access should not split")
+	}
+	if !c.Splits(60, 8) {
+		t.Error("access crossing 64B boundary should split")
+	}
+	if c.Splits(56, 8) {
+		t.Error("access ending exactly at boundary should not split")
+	}
+	if c.Splits(100, 0) {
+		t.Error("zero-size access cannot split")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c, _ := NewCache(1024, 2, 64)
+	c.Access(0x2000)
+	c.Reset()
+	if c.Access(0x2000) {
+		t.Error("access after Reset should miss")
+	}
+}
+
+func TestCacheLineBytes(t *testing.T) {
+	c, _ := NewCache(1024, 2, 64)
+	if c.LineBytes() != 64 {
+		t.Errorf("LineBytes = %d", c.LineBytes())
+	}
+}
+
+func TestNewTLBValidation(t *testing.T) {
+	if _, err := NewTLB(255, 4, 4096); err == nil {
+		t.Error("entries not divisible by ways should error")
+	}
+	if _, err := NewTLB(256, 4, 1000); err == nil {
+		t.Error("non-power-of-two page should error")
+	}
+	if _, err := NewTLB(0, 1, 4096); err == nil {
+		t.Error("zero entries should error")
+	}
+	if _, err := NewTLB(256, 4, 4096); err != nil {
+		t.Errorf("valid TLB rejected: %v", err)
+	}
+}
+
+func TestTLBPageGranularity(t *testing.T) {
+	tlb, _ := NewTLB(16, 4, 4096)
+	if tlb.Access(0x1000) {
+		t.Error("cold translation should miss")
+	}
+	// Anywhere in the same page hits.
+	if !tlb.Access(0x1FFF) {
+		t.Error("same-page access should hit")
+	}
+	// Next page misses.
+	if tlb.Access(0x2000) {
+		t.Error("next page should miss")
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	tlb, _ := NewTLB(16, 4, 4096)
+	// Touch 16 pages: fits exactly.
+	for p := uint64(0); p < 16; p++ {
+		tlb.Access(p * 4096)
+	}
+	hits := 0
+	for p := uint64(0); p < 16; p++ {
+		if tlb.Access(p * 4096) {
+			hits++
+		}
+	}
+	if hits != 16 {
+		t.Errorf("16-page working set in 16-entry TLB: %d/16 hits", hits)
+	}
+	// 64 pages thrash it.
+	tlb.Reset()
+	misses := 0
+	for pass := 0; pass < 2; pass++ {
+		for p := uint64(0); p < 64; p++ {
+			if !tlb.Access(p * 4096) {
+				misses++
+			}
+		}
+	}
+	if misses < 100 {
+		t.Errorf("thrashing working set produced only %d misses", misses)
+	}
+}
+
+func TestTLBSpansPages(t *testing.T) {
+	tlb, _ := NewTLB(16, 4, 4096)
+	if tlb.SpansPages(4090, 4) {
+		t.Error("access within page should not span")
+	}
+	if !tlb.SpansPages(4094, 4) {
+		t.Error("access crossing page boundary should span")
+	}
+	if tlb.SpansPages(0, 0) {
+		t.Error("zero-size access cannot span")
+	}
+}
+
+func TestBranchPredictorLearnsBiasedBranch(t *testing.T) {
+	bp := NewBranchPredictor(12)
+	pc := uint64(0x400100)
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if bp.Predict(pc, true) {
+			correct++
+		}
+	}
+	if correct < 950 {
+		t.Errorf("always-taken branch predicted correctly only %d/1000", correct)
+	}
+}
+
+func TestBranchPredictorLearnsPattern(t *testing.T) {
+	// Alternating T/N is learnable through history correlation.
+	bp := NewBranchPredictor(12)
+	pc := uint64(0x400200)
+	correct := 0
+	for i := 0; i < 2000; i++ {
+		if bp.Predict(pc, i%2 == 0) {
+			correct++
+		}
+	}
+	if correct < 1700 {
+		t.Errorf("alternating branch predicted correctly only %d/2000", correct)
+	}
+}
+
+func TestBranchPredictorRandomIsNearChance(t *testing.T) {
+	bp := NewBranchPredictor(12)
+	// xorshift for deterministic "random" outcomes
+	x := uint64(88172645463325252)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if bp.Predict(uint64(0x400000)+uint64(i%64)*4, x&1 == 0) {
+			correct++
+		}
+	}
+	rate := float64(correct) / n
+	if rate < 0.4 || rate > 0.65 {
+		t.Errorf("random branches predicted at %.3f, expected near chance", rate)
+	}
+}
+
+func TestBranchPredictorReset(t *testing.T) {
+	bp := NewBranchPredictor(10)
+	pc := uint64(0x400300)
+	for i := 0; i < 100; i++ {
+		bp.Predict(pc, true)
+	}
+	bp.Reset()
+	// After reset, the first prediction for a taken branch is wrong
+	// (counters re-initialized to weakly-not-taken).
+	if bp.Predict(pc, true) {
+		t.Error("prediction after Reset should be untrained")
+	}
+}
+
+func TestPreloadCodeWarmsInstructionSide(t *testing.T) {
+	c, err := NewCore(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, span := uint64(0x40_0000), 16<<10
+	c.PreloadCode(base, span)
+	// Every line of the region must now hit in L1I.
+	for addr := base; addr < base+uint64(span); addr += 64 {
+		if !c.l1i.Access(addr) {
+			t.Fatalf("code line %#x cold after PreloadCode", addr)
+		}
+	}
+	// Degenerate spans are no-ops.
+	c.PreloadCode(base, 0)
+	c.PreloadCode(base, -5)
+}

@@ -1,0 +1,99 @@
+package uarch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StackComponent indexes one cause in a CPI stack — the cycle-attribution
+// breakdown performance engineers use to answer "where did the time go?",
+// which is the question the paper's regression models approximate from
+// the outside. The simulator can answer it exactly.
+type StackComponent int
+
+// The CPI stack components, in display order.
+const (
+	StackBase       StackComponent = iota // issue/retire bandwidth
+	StackL1D                              // L1D misses that hit L2
+	StackL2                               // demand misses to memory
+	StackPrefetch                         // prefetch-covered miss catch-up
+	StackStoreMiss                        // store RFO exposure
+	StackIFetch                           // instruction-fetch misses
+	StackPageWalk                         // TLB-miss page walks (D and I side)
+	StackBranch                           // mispredict flushes
+	StackAlign                            // split and misaligned accesses
+	StackStoreBlock                       // store-forwarding blocks (StA/Std/Olp)
+	StackCompute                          // long-latency compute (mul/div/SIMD)
+	StackFpAssist                         // floating-point assists
+
+	NumStackComponents
+)
+
+var stackNames = [NumStackComponents]string{
+	"base", "L1D", "L2", "prefetch", "store", "ifetch",
+	"pagewalk", "branch", "align", "stblock", "compute", "fpassist",
+}
+
+// Name returns the component's short display name.
+func (s StackComponent) Name() string {
+	if s < 0 || s >= NumStackComponents {
+		return fmt.Sprintf("component(%d)", int(s))
+	}
+	return stackNames[s]
+}
+
+// CPIStack attributes a window's cycles to their causes.
+type CPIStack [NumStackComponents]float64
+
+// Total returns the summed cycles across components.
+func (s *CPIStack) Total() float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates another stack into this one.
+func (s *CPIStack) Add(other CPIStack) {
+	for i := range s {
+		s[i] += other[i]
+	}
+}
+
+// Scale multiplies every component by f (e.g. phase weights).
+func (s *CPIStack) Scale(f float64) {
+	for i := range s {
+		s[i] *= f
+	}
+}
+
+// Shares returns each component's fraction of the total.
+func (s *CPIStack) Shares() [NumStackComponents]float64 {
+	var out [NumStackComponents]float64
+	t := s.Total()
+	if t == 0 {
+		return out
+	}
+	for i, v := range s {
+		out[i] = v / t
+	}
+	return out
+}
+
+// String renders the stack as "component pct%" pairs, largest first kept
+// in canonical order for readability.
+func (s *CPIStack) String() string {
+	shares := s.Shares()
+	var b strings.Builder
+	for i, sh := range shares {
+		if sh < 0.005 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.0f%%", StackComponent(i).Name(), 100*sh)
+	}
+	return b.String()
+}

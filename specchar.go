@@ -1,0 +1,154 @@
+// Package specchar reproduces "Characterization of SPEC CPU2006 and SPEC
+// OMP2001: Regression Models and their Transferability" (Ould-Ahmed-Vall,
+// Doshi, Yount, Woodlee — ISPASS 2008) as a self-contained Go library.
+//
+// The pipeline: synthetic stand-ins for the two SPEC suites
+// (internal/suites) execute on a simulated Core 2-class processor
+// (internal/trace + internal/uarch), a simulated five-counter PMU collects
+// multiplexed event densities (internal/pmu), M5' model trees are induced
+// over the resulting samples (internal/mtree), and the trees drive the
+// paper's benchmark characterization (internal/characterize) and model
+// transferability analyses (internal/transfer).
+//
+// This package is the facade: it wires the pipeline together and exposes
+// one entry point per table and figure of the paper's evaluation.
+package specchar
+
+import (
+	"fmt"
+
+	"specchar/internal/dataset"
+	"specchar/internal/mtree"
+	"specchar/internal/suites"
+	"specchar/internal/transfer"
+	"specchar/internal/uarch"
+)
+
+// Config gathers every knob of a full study.
+type Config struct {
+	// Gen drives suite data generation.
+	Gen suites.GenOptions
+	// Tree drives M5' induction.
+	Tree mtree.Options
+	// TrainFraction is the share of each suite used to train the
+	// transferability models (the paper uses 10%).
+	TrainFraction float64
+	// SplitSeed seeds the train/test partitioning.
+	SplitSeed uint64
+}
+
+// DefaultConfig returns the configuration used to regenerate the paper's
+// tables and figures: paper-shaped suite generation, M5' defaults with a
+// leaf-population floor appropriate to the dataset size, and the paper's
+// 10% training fraction.
+func DefaultConfig() Config {
+	treeOpts := mtree.DefaultOptions()
+	treeOpts.MinLeaf = 35
+	return Config{
+		Gen:           suites.DefaultGenOptions(),
+		Tree:          treeOpts,
+		TrainFraction: 0.10,
+		SplitSeed:     1962,
+	}
+}
+
+// QuickConfig returns a reduced-scale configuration for tests and smoke
+// runs: fewer samples and shorter windows (noisier trees, same code
+// paths).
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Gen.SamplesPerBenchmark = 40
+	cfg.Gen.OpsPerWindow = 512
+	cfg.Gen.WarmupOps = 8000
+	cfg.Tree.MinLeaf = 10
+	return cfg
+}
+
+// Study holds everything a full reproduction run produces: both suite
+// datasets, the suite-level trees (trained on all data, used for
+// characterization), and the 10%-trained transfer models with their
+// train/test partitions.
+type Study struct {
+	Config Config
+
+	CPU *dataset.Dataset // full SPEC CPU2006 dataset
+	OMP *dataset.Dataset // full SPEC OMP2001 dataset
+
+	CPUTree *mtree.Tree // tree over all CPU2006 data (Figure 1)
+	OMPTree *mtree.Tree // tree over all OMP2001 data (Figure 2)
+
+	// Transferability artifacts (Section VI): models trained on a
+	// TrainFraction split of each suite plus the held-out remainders.
+	CPUTrain, CPUTest *dataset.Dataset
+	OMPTrain, OMPTest *dataset.Dataset
+	CPUModel          *mtree.Tree // trained on CPUTrain
+	OMPModel          *mtree.Tree // trained on OMPTrain
+}
+
+// NewStudy generates both suites and trains all four trees. This is the
+// expensive call (seconds at DefaultConfig scale); everything downstream
+// reuses its artifacts.
+func NewStudy(cfg Config) (*Study, error) {
+	s := &Study{Config: cfg}
+	var err error
+	if s.CPU, err = suites.Generate(suites.CPU2006(), cfg.Gen); err != nil {
+		return nil, fmt.Errorf("specchar: generating CPU2006: %w", err)
+	}
+	if s.OMP, err = suites.Generate(suites.OMP2001(), cfg.Gen); err != nil {
+		return nil, fmt.Errorf("specchar: generating OMP2001: %w", err)
+	}
+	if s.CPUTree, err = mtree.Build(s.CPU, cfg.Tree); err != nil {
+		return nil, fmt.Errorf("specchar: building CPU2006 tree: %w", err)
+	}
+	if s.OMPTree, err = mtree.Build(s.OMP, cfg.Tree); err != nil {
+		return nil, fmt.Errorf("specchar: building OMP2001 tree: %w", err)
+	}
+	frac := cfg.TrainFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 0.10
+	}
+	s.CPUTrain, s.CPUTest = s.CPU.StratifiedSplit(dataset.NewRNG(cfg.SplitSeed), frac)
+	s.OMPTrain, s.OMPTest = s.OMP.StratifiedSplit(dataset.NewRNG(cfg.SplitSeed^0xD1CE), frac)
+	if s.CPUModel, err = mtree.Build(s.CPUTrain, cfg.Tree); err != nil {
+		return nil, fmt.Errorf("specchar: building CPU2006 transfer model: %w", err)
+	}
+	if s.OMPModel, err = mtree.Build(s.OMPTrain, cfg.Tree); err != nil {
+		return nil, fmt.Errorf("specchar: building OMP2001 transfer model: %w", err)
+	}
+	return s, nil
+}
+
+// CoreConfig returns the simulated processor configuration in effect.
+func (s *Study) CoreConfig() uarch.Config {
+	if s.Config.Gen.Config != nil {
+		return *s.Config.Gen.Config
+	}
+	return uarch.DefaultConfig()
+}
+
+// AssessTransfer runs the Section VI battery for the four directed
+// pairings the paper reports. direction is one of:
+//
+//	"cpu->cpu"  CPU2006 10% model on held-out CPU2006 data (transferable)
+//	"cpu->omp"  CPU2006 model on OMP2001 data (not transferable)
+//	"omp->omp"  OMP2001 10% model on held-out OMP2001 data (transferable)
+//	"omp->cpu"  OMP2001 model on CPU2006 data (not transferable)
+func (s *Study) AssessTransfer(direction string) (*transfer.Assessment, error) {
+	switch direction {
+	case "cpu->cpu":
+		return transfer.Assess(s.CPUModel, s.CPUTrain, s.CPUTest, "SPEC CPU2006 (10%)", "SPEC CPU2006 (held out)", transfer.Options{})
+	case "cpu->omp":
+		return transfer.Assess(s.CPUModel, s.CPUTrain, s.OMPTrain, "SPEC CPU2006 (10%)", "SPEC OMP2001", transfer.Options{})
+	case "omp->omp":
+		return transfer.Assess(s.OMPModel, s.OMPTrain, s.OMPTest, "SPEC OMP2001 (10%)", "SPEC OMP2001 (held out)", transfer.Options{})
+	case "omp->cpu":
+		return transfer.Assess(s.OMPModel, s.OMPTrain, s.CPUTrain, "SPEC OMP2001 (10%)", "SPEC CPU2006", transfer.Options{})
+	}
+	return nil, fmt.Errorf("specchar: unknown transfer direction %q", direction)
+}
+
+// Directions lists the transferability pairings of Section VI in report
+// order.
+func Directions() []string {
+	return []string{"cpu->cpu", "cpu->omp", "omp->omp", "omp->cpu"}
+}

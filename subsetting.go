@@ -1,0 +1,245 @@
+package specchar
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"specchar/internal/characterize"
+	"specchar/internal/cluster"
+	"specchar/internal/dataset"
+	"specchar/internal/pca"
+	"specchar/internal/tables"
+)
+
+// SubsetResult describes a representative-subset selection for one suite:
+// the PCA+clustering pipeline of the subsetting literature the paper's
+// Section II surveys, run on our synthetic data, and validated against the
+// model-tree characterization.
+type SubsetResult struct {
+	SuiteName string
+
+	// PCA stage.
+	ComponentsUsed    int
+	VarianceRetained  float64
+	ExplainedVariance []float64
+
+	// Clustering stage.
+	K          int
+	Silhouette float64
+	Clusters   [][]string // benchmark names per cluster
+
+	// The representative subset: one medoid benchmark per cluster.
+	Representatives []string
+
+	// Validation: Manhattan distance (Equation 4) between the full
+	// suite's leaf-model profile and the pooled profile of (a) the chosen
+	// subset and (b) a naive same-size subset (the first K benchmarks),
+	// both classified through the suite's model tree.
+	SubsetProfileDistance float64
+	NaiveProfileDistance  float64
+
+	// CPI means for a coarse sanity check.
+	SuiteCPI, SubsetCPI float64
+}
+
+// SelectSubset runs the PCA + hierarchical clustering subsetting pipeline
+// on the named suite ("cpu2006" or "omp2001") and validates the selection
+// against the suite's model tree. k <= 0 selects k by silhouette score
+// (2..maxK where maxK is a third of the suite size).
+func (s *Study) SelectSubset(suiteName string, k int) (*SubsetResult, error) {
+	var d *dataset.Dataset
+	var tree = s.CPUTree
+	switch suiteName {
+	case "cpu2006":
+		d = s.CPU
+		tree = s.CPUTree
+	case "omp2001":
+		d = s.OMP
+		tree = s.OMPTree
+	default:
+		return nil, fmt.Errorf("specchar: unknown suite %q", suiteName)
+	}
+	labels := d.Labels()
+	if len(labels) < 3 {
+		return nil, fmt.Errorf("specchar: suite %s too small to subset", suiteName)
+	}
+
+	// Per-benchmark feature vectors: mean event density per attribute
+	// plus mean CPI, the "program characteristics" the subsetting papers
+	// feed to PCA.
+	features := make([][]float64, len(labels))
+	for i, label := range labels {
+		sub := d.FilterLabel(label)
+		vec := make([]float64, d.Schema.NumAttrs()+1)
+		for _, smp := range sub.Samples {
+			for j, v := range smp.X {
+				vec[j] += v
+			}
+			vec[len(vec)-1] += smp.Y
+		}
+		for j := range vec {
+			vec[j] /= float64(sub.Len())
+		}
+		features[i] = vec
+	}
+
+	res := &SubsetResult{SuiteName: suiteName}
+
+	// PCA: retain 90% of standardized variance.
+	p, err := pca.Fit(features)
+	if err != nil {
+		return nil, err
+	}
+	res.ExplainedVariance = p.ExplainedVariance()
+	res.ComponentsUsed = p.ComponentsFor(0.90)
+	for _, v := range res.ExplainedVariance[:res.ComponentsUsed] {
+		res.VarianceRetained += v
+	}
+	projected, err := p.TransformAll(features, res.ComponentsUsed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Clustering: complete-linkage agglomerative, silhouette-selected k
+	// unless fixed.
+	clusterer := func(k int) (*cluster.Assignment, error) {
+		return cluster.Hierarchical(projected, k, cluster.CompleteLinkage)
+	}
+	if k <= 0 {
+		// Sweep k over the range the subsetting literature targets
+		// (roughly a sixth to a half of the suite); unconstrained
+		// silhouette maximization degenerates to "one outlier vs rest".
+		minK := len(labels) / 6
+		if minK < 3 {
+			minK = 3
+		}
+		maxK := len(labels) / 2
+		if maxK < minK {
+			maxK = minK
+		}
+		bestK, bestScore := minK, math.Inf(-1)
+		for kk := minK; kk <= maxK; kk++ {
+			a, err := clusterer(kk)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := cluster.Silhouette(projected, a)
+			if err != nil {
+				continue
+			}
+			if sc > bestScore {
+				bestK, bestScore = kk, sc
+			}
+		}
+		k, res.Silhouette = bestK, bestScore
+	}
+	assign, err := clusterer(k)
+	if err != nil {
+		return nil, err
+	}
+	if res.Silhouette == 0 && k >= 2 {
+		if sc, err := cluster.Silhouette(projected, assign); err == nil {
+			res.Silhouette = sc
+		}
+	}
+	res.K = k
+	res.Clusters = make([][]string, k)
+	for c := 0; c < k; c++ {
+		for _, i := range assign.Members(c) {
+			res.Clusters[c] = append(res.Clusters[c], labels[i])
+		}
+	}
+	for _, m := range assign.Medoids(projected) {
+		res.Representatives = append(res.Representatives, labels[m])
+	}
+
+	// Validation through the model tree: the subset's pooled leaf profile
+	// should be much closer to the suite profile than a naive subset's.
+	suiteProfile, err := characterize.ProfileOf(tree, d, "Suite")
+	if err != nil {
+		return nil, err
+	}
+	pooled := func(names []string) (*dataset.Dataset, error) {
+		out := dataset.New(d.Schema)
+		for _, name := range names {
+			out.Samples = append(out.Samples, d.FilterLabel(name).Samples...)
+		}
+		if out.Len() == 0 {
+			return nil, fmt.Errorf("specchar: empty subset")
+		}
+		return out, nil
+	}
+	subsetData, err := pooled(res.Representatives)
+	if err != nil {
+		return nil, err
+	}
+	subsetProfile, err := characterize.ProfileOf(tree, subsetData, "Subset")
+	if err != nil {
+		return nil, err
+	}
+	res.SubsetProfileDistance = characterize.Distance(suiteProfile, subsetProfile)
+
+	naiveData, err := pooled(labels[:k])
+	if err != nil {
+		return nil, err
+	}
+	naiveProfile, err := characterize.ProfileOf(tree, naiveData, "Naive")
+	if err != nil {
+		return nil, err
+	}
+	res.NaiveProfileDistance = characterize.Distance(suiteProfile, naiveProfile)
+
+	suiteSum, err := d.Summary()
+	if err != nil {
+		return nil, err
+	}
+	subsetSum, err := subsetData.Summary()
+	if err != nil {
+		return nil, err
+	}
+	res.SuiteCPI, res.SubsetCPI = suiteSum.Mean, subsetSum.Mean
+	return res, nil
+}
+
+// String renders the subsetting report.
+func (r *SubsetResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "representative subsetting of %s (PCA + complete-linkage clustering)\n\n", r.SuiteName)
+	fmt.Fprintf(&b, "PCA: %d components retain %.1f%% of standardized variance\n",
+		r.ComponentsUsed, 100*r.VarianceRetained)
+	fmt.Fprintf(&b, "clustering: k=%d, silhouette %.3f\n\n", r.K, r.Silhouette)
+	t := tables.New("cluster", "members", "representative")
+	for c, members := range r.Clusters {
+		rep := ""
+		for _, cand := range r.Representatives {
+			for _, m := range members {
+				if m == cand {
+					rep = cand
+				}
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", c+1), strings.Join(members, ", "), rep)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nvalidation against the suite model tree (Equation 4 profile distance):\n")
+	fmt.Fprintf(&b, "  representative subset vs suite: %5.1f%%\n", 100*r.SubsetProfileDistance)
+	fmt.Fprintf(&b, "  naive first-%d subset vs suite: %5.1f%%\n", r.K, 100*r.NaiveProfileDistance)
+	fmt.Fprintf(&b, "  CPI: suite %.3f, subset %.3f (|delta| %.3f)\n",
+		r.SuiteCPI, r.SubsetCPI, math.Abs(r.SuiteCPI-r.SubsetCPI))
+	return b.String()
+}
+
+// SubsetReport renders the subsetting experiments for both suites.
+func (s *Study) SubsetReport() (string, error) {
+	var b strings.Builder
+	for _, suite := range []string{"cpu2006", "omp2001"} {
+		r, err := s.SelectSubset(suite, 0)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,320 @@
+package specchar
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSelectSubsetCPU(t *testing.T) {
+	s := fullStudy(t)
+	r, err := s.SelectSubset("cpu2006", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K < 3 || r.K > 15 {
+		t.Errorf("k = %d outside the constrained range", r.K)
+	}
+	if len(r.Representatives) != r.K {
+		t.Errorf("%d representatives for k=%d", len(r.Representatives), r.K)
+	}
+	// Representatives are distinct suite members.
+	seen := map[string]bool{}
+	valid := map[string]bool{}
+	for _, l := range s.CPU.Labels() {
+		valid[l] = true
+	}
+	for _, rep := range r.Representatives {
+		if !valid[rep] {
+			t.Errorf("representative %q is not a suite benchmark", rep)
+		}
+		if seen[rep] {
+			t.Errorf("duplicate representative %q", rep)
+		}
+		seen[rep] = true
+	}
+	// Every benchmark appears in exactly one cluster.
+	var members int
+	for _, c := range r.Clusters {
+		members += len(c)
+	}
+	if members != len(s.CPU.Labels()) {
+		t.Errorf("clusters cover %d benchmarks, want %d", members, len(s.CPU.Labels()))
+	}
+	// PCA must have compressed: fewer components than raw dimensions,
+	// retaining at least the requested variance.
+	if r.ComponentsUsed >= s.CPU.Schema.NumAttrs() {
+		t.Errorf("PCA kept %d components", r.ComponentsUsed)
+	}
+	if r.VarianceRetained < 0.90 {
+		t.Errorf("variance retained %v < 0.90", r.VarianceRetained)
+	}
+	// The representative subset must beat the naive subset at matching
+	// the suite's behaviour profile.
+	if r.SubsetProfileDistance >= r.NaiveProfileDistance {
+		t.Errorf("representative subset (%.3f) not better than naive (%.3f)",
+			r.SubsetProfileDistance, r.NaiveProfileDistance)
+	}
+	// Rendering contains the essentials.
+	out := r.String()
+	for _, want := range []string{"PCA", "silhouette", "representative", "validation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSelectSubsetFixedK(t *testing.T) {
+	s := fullStudy(t)
+	r, err := s.SelectSubset("omp2001", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 4 || len(r.Representatives) != 4 {
+		t.Errorf("fixed k not honoured: %+v", r.K)
+	}
+	if r.Silhouette == 0 {
+		t.Error("silhouette not computed for fixed k")
+	}
+}
+
+func TestSelectSubsetErrors(t *testing.T) {
+	s := fullStudy(t)
+	if _, err := s.SelectSubset("bogus", 0); err == nil {
+		t.Error("unknown suite should error")
+	}
+}
+
+func TestSubsetReportExperiment(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.Run(ExpSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cpu2006") || !strings.Contains(out, "omp2001") {
+		t.Errorf("subset report missing suites:\n%s", out)
+	}
+}
+
+func TestCompareModels(t *testing.T) {
+	s := fullStudy(t)
+	rows, err := s.CompareModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.Metrics.MAE <= 0 || r.Metrics.Correlation <= 0 {
+			t.Errorf("%s has degenerate metrics: %+v", r.Name, r.Metrics)
+		}
+		byName[r.Name] = r.Metrics.Correlation
+	}
+	// At full scale the model tree must decisively beat the global linear
+	// baseline (the paper's motivation for trees over single models), and
+	// be competitive with the black-box learners (ref [15]'s finding).
+	tree := byName["M5' model tree"]
+	lin := byName["global linear regression"]
+	if tree <= lin {
+		t.Errorf("tree C %v not above linear C %v", tree, lin)
+	}
+	for name, c := range byName {
+		if name == "global linear regression" {
+			continue
+		}
+		if tree < c-0.05 {
+			t.Errorf("tree C %v more than 0.05 below %s C %v", tree, name, c)
+		}
+	}
+	// The bagged tree ensemble must be competitive with the single tree.
+	for name, c := range byName {
+		if strings.HasPrefix(name, "bagged") && (c < tree-0.02) {
+			t.Errorf("bagged ensemble C %v well below single tree %v", c, tree)
+		}
+	}
+	report, err := s.ModelComparisonReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "M5' model tree") || !strings.Contains(report, "MLP") {
+		t.Errorf("report malformed:\n%s", report)
+	}
+}
+
+func TestBenchmarkReport(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.BenchmarkReport("cpu2006", "429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"429.mcf", "behaviour classes", "distinguishing events",
+		"most similar", "most dissimilar", "LM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// mcf's elevated events must include the memory-hierarchy ones.
+	if !strings.Contains(out, "DtlbMiss") && !strings.Contains(out, "L2Miss") && !strings.Contains(out, "PageWalk") {
+		t.Errorf("mcf report does not surface memory-hierarchy events:\n%s", out)
+	}
+	if _, err := s.BenchmarkReport("cpu2006", "nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := s.BenchmarkReport("nope", "429.mcf"); err == nil {
+		t.Error("unknown suite should error")
+	}
+}
+
+func TestImportanceReport(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.ImportanceReport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SPEC CPU2006") || !strings.Contains(out, "SPEC OMP2001") {
+		t.Fatalf("report missing suites:\n%s", out)
+	}
+	// The suites' top important events must reflect their trees: DTLB/L2
+	// machinery for CPU2006, the store-block/store/SIMD complex for OMP.
+	cpuPart := out[:strings.Index(out, "SPEC OMP2001")]
+	ompPart := out[strings.Index(out, "SPEC OMP2001"):]
+	cpuTop := firstRankedEvent(cpuPart)
+	ompTop := firstRankedEvent(ompPart)
+	cpuOK := map[string]bool{"DtlbMiss": true, "PageWalk": true, "L2Miss": true, "L1DMiss": true}
+	if !cpuOK[cpuTop] {
+		t.Errorf("CPU2006 top importance = %q, want a memory-hierarchy event", cpuTop)
+	}
+	ompOK := map[string]bool{"LdBlkOlp": true, "Store": true, "SIMD": true, "L1DMiss": true, "L2Miss": true, "MisprBr": true}
+	if !ompOK[ompTop] {
+		t.Errorf("OMP2001 top importance = %q", ompTop)
+	}
+}
+
+// firstRankedEvent extracts the event name of rank-1 from an importance
+// table rendering.
+func firstRankedEvent(s string) string {
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 3 && f[0] == "1" {
+			return f[1]
+		}
+	}
+	return ""
+}
+
+func TestPhaseReport(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.Run(ExpPhases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mean agreement") {
+		t.Fatalf("phase report malformed:\n%s", out)
+	}
+	// Extract the mean agreement and require detection to be clearly
+	// better than chance against the generator's ground truth.
+	idx := strings.Index(out, "mean agreement: ")
+	var mean float64
+	if _, err := fmt.Sscanf(out[idx:], "mean agreement: %f", &mean); err != nil {
+		t.Fatal(err)
+	}
+	if mean < 0.8 {
+		t.Errorf("mean phase-detection agreement = %v, want >= 0.8", mean)
+	}
+}
+
+func TestCPIStackReport(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.Run(ExpCPIStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "429.mcf") || !strings.Contains(out, "base") {
+		t.Fatalf("cpistack report malformed:\n%s", out)
+	}
+	// mcf's stack must be L2-dominated (its defining property).
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "429.mcf") {
+			continue
+		}
+		f := strings.Fields(line)
+		// columns: name CPI base L1D L2 ...
+		if len(f) < 5 {
+			t.Fatalf("mcf row too short: %q", line)
+		}
+		var l2 int
+		fmt.Sscanf(f[4], "%d%%", &l2)
+		if l2 < 30 {
+			t.Errorf("mcf L2 share = %d%%, want dominant", l2)
+		}
+	}
+}
+
+func TestPlatformReport(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.Run(ExpPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1MB L2") {
+		t.Fatalf("platform report malformed:\n%s", out)
+	}
+	// The model must NOT transfer across hardware configurations.
+	if !strings.Contains(out, "transferable=false") {
+		t.Errorf("cross-platform transfer unexpectedly succeeded:\n%s", out)
+	}
+}
+
+func TestNoiseSweepDegradesGracefully(t *testing.T) {
+	s := fullStudy(t)
+	points, err := s.NoiseSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Zero noise must reproduce the clean self-transfer metrics.
+	clean, _ := s.AssessTransfer("cpu->cpu")
+	if points[0].Metrics.MAE != clean.Metrics.MAE {
+		t.Errorf("sigma 0 MAE %v != clean MAE %v", points[0].Metrics.MAE, clean.Metrics.MAE)
+	}
+	// Error must grow monotonically (allowing tiny wiggle) and the
+	// heaviest noise must clearly hurt.
+	for i := 1; i < len(points); i++ {
+		if points[i].Metrics.MAE+1e-9 < points[i-1].Metrics.MAE {
+			t.Errorf("MAE not monotone at sigma %v: %v < %v",
+				points[i].Sigma, points[i].Metrics.MAE, points[i-1].Metrics.MAE)
+		}
+	}
+	last := points[len(points)-1]
+	if last.Metrics.MAE < clean.Metrics.MAE*1.5 {
+		t.Errorf("sigma %v barely hurt: %v vs clean %v", last.Sigma, last.Metrics.MAE, clean.Metrics.MAE)
+	}
+}
+
+func TestLineageReport(t *testing.T) {
+	s := fullStudy(t)
+	out, err := s.Run(ExpLineage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CPU2000") {
+		t.Fatalf("lineage report malformed:\n%s", out)
+	}
+	// The lineage result must sit between the poles: extract the three C
+	// values and check ordering cross < lineage.
+	var lineageC float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "accuracy:") {
+			fmt.Sscanf(strings.TrimSpace(line), "accuracy:           C=%f", &lineageC)
+			fmt.Sscanf(strings.TrimSpace(line), "accuracy:          C=%f", &lineageC)
+		}
+	}
+	cross, _ := s.AssessTransfer("cpu->omp")
+	if lineageC <= cross.Metrics.Correlation {
+		t.Errorf("lineage C %v not above cross-suite C %v", lineageC, cross.Metrics.Correlation)
+	}
+}
