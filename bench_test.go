@@ -336,6 +336,46 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// benchBuildWorkers times full tree induction (grow + fit + prune +
+// smoothing setup) on the full CPU2006 dataset at a fixed worker count.
+func benchBuildWorkers(b *testing.B, workers int) {
+	s := benchStudy(b)
+	opts := s.Config.Tree
+	opts.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtree.Build(s.CPU, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildSerial pins the single-worker induction cost; the
+// speedup of BenchmarkBuildParallel over this is the tentpole's headline
+// number (the trees are byte-identical either way — see
+// TestParallelBuildMatchesSerial).
+func BenchmarkBuildSerial(b *testing.B)   { benchBuildWorkers(b, 1) }
+func BenchmarkBuildParallel(b *testing.B) { benchBuildWorkers(b, 0) }
+
+// benchPredictDatasetWorkers times batch prediction over the full
+// CPU2006 dataset at a fixed worker count.
+func benchPredictDatasetWorkers(b *testing.B, workers int) {
+	s := benchStudy(b)
+	tree := *s.CPUTree // shallow copy so the worker knob doesn't leak to other benchmarks
+	tree.Opts.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if preds := tree.PredictDataset(s.CPU); len(preds) != s.CPU.Len() {
+			b.Fatal("short prediction vector")
+		}
+	}
+}
+
+func BenchmarkPredictDatasetSerial(b *testing.B)   { benchPredictDatasetWorkers(b, 1) }
+func BenchmarkPredictDatasetParallel(b *testing.B) { benchPredictDatasetWorkers(b, 0) }
+
 // --- helpers ---
 
 type evalResult struct{ c, mae float64 }

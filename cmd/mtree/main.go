@@ -117,7 +117,13 @@ func main() {
 	}
 
 	if test != nil && test.Len() > 0 {
-		rep, err := metrics.Compute(tree.PredictDataset(test), test.Ys())
+		// Checked prediction: a -test file whose schema is narrower than
+		// the training data must be a diagnostic, not a panic.
+		pred, err := tree.PredictDatasetChecked(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := metrics.Compute(pred, test.Ys())
 		if err != nil {
 			log.Fatal(err)
 		}

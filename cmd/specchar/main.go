@@ -6,7 +6,7 @@
 //
 //	specchar events
 //	specchar datagen      -suite cpu2006|omp2001 [-o file] [-format csv|arff] [-quick] [-seed N]
-//	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N]
+//	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N] [-eval F] [-workers N]
 //	specchar characterize -suite cpu2006|omp2001 [-quick]
 //	specchar transfer     [-quick]
 //
@@ -21,6 +21,8 @@ import (
 
 	"specchar"
 	"specchar/internal/characterize"
+	"specchar/internal/dataset"
+	"specchar/internal/metrics"
 	"specchar/internal/mtree"
 	"specchar/internal/suites"
 	"specchar/internal/tables"
@@ -166,6 +168,8 @@ func runTree(args []string) error {
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
 	minLeaf := fs.Int("minleaf", 35, "minimum samples per leaf branch")
 	seedFlag := fs.Uint64("seed", 0, "generation seed override")
+	evalFlag := fs.Float64("eval", 0, "hold out this fraction for accuracy evaluation (0 = off)")
+	workersFlag := fs.Int("workers", 0, "induction worker count (0 = all cores, 1 = serial)")
 	fs.Parse(args)
 
 	s, err := suiteByName(*suiteFlag)
@@ -176,18 +180,37 @@ func runTree(args []string) error {
 	if err != nil {
 		return err
 	}
+	train := d
+	var test *dataset.Dataset
+	if *evalFlag > 0 && *evalFlag < 1 {
+		train, test = d.Split(dataset.NewRNG(1), 1-*evalFlag)
+	} else if *evalFlag != 0 {
+		return fmt.Errorf("-eval must be in (0, 1), got %g", *evalFlag)
+	}
 	opts := mtree.DefaultOptions()
 	opts.MinLeaf = *minLeaf
-	tree, err := mtree.Build(d, opts)
+	opts.Workers = *workersFlag
+	tree, err := mtree.Build(train, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d samples, %d leaf models, depth %d\n\n", s.Name, d.Len(), tree.NumLeaves(), tree.Depth())
+	fmt.Printf("%s: %d samples, %d leaf models, depth %d\n\n", s.Name, train.Len(), tree.NumLeaves(), tree.Depth())
 	fmt.Print(tree.Render())
 	fmt.Println()
 	fmt.Print(tree.RenderModels())
 	fmt.Println()
 	fmt.Print(tree.RenderSplitSummary())
+	if test != nil && test.Len() > 0 {
+		pred, err := tree.PredictDatasetChecked(test)
+		if err != nil {
+			return err
+		}
+		rep, err := metrics.Compute(pred, test.Ys())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nheld-out accuracy (%d samples): %s\n", test.Len(), rep)
+	}
 	return nil
 }
 

@@ -2,7 +2,9 @@ package specchar
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"specchar/internal/baselines"
@@ -31,10 +33,7 @@ func (s *Study) CompareModels() ([]ModelComparison, error) {
 	var out []ModelComparison
 
 	evaluate := func(name string, dur time.Duration, predict func([]float64) float64) error {
-		preds := make([]float64, test.Len())
-		for i, smp := range test.Samples {
-			preds[i] = predict(smp.X)
-		}
+		preds := predictAll(test, predict)
 		rep, err := metrics.Compute(preds, test.Ys())
 		if err != nil {
 			return err
@@ -155,6 +154,38 @@ func (s *Study) PlatformReport() (string, error) {
 	return b.String(), nil
 }
 
+// predictAll evaluates a (read-only) point predictor over every test
+// sample, fanning chunks across the cores. Each goroutine writes a
+// disjoint range of the output, so the result is positionally identical
+// to the serial loop.
+func predictAll(test *dataset.Dataset, predict func([]float64) float64) []float64 {
+	preds := make([]float64, test.Len())
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 || test.Len() < 256 {
+		for i, smp := range test.Samples {
+			preds[i] = predict(smp.X)
+		}
+		return preds
+	}
+	chunk := (test.Len() + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < test.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > test.Len() {
+			hi = test.Len()
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				preds[i] = predict(test.Samples[i].X)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return preds
+}
+
 // treeRegressor adapts an M5' tree to the baselines.Regressor interface.
 type treeRegressor struct{ t *mtree.Tree }
 
@@ -192,7 +223,11 @@ func (s *Study) NoiseSweep(sigmas []float64) ([]NoisePoint, error) {
 			}
 			noisy.Samples = append(noisy.Samples, dataset.Sample{X: x, Y: smp.Y, Label: smp.Label})
 		}
-		rep, err := metrics.Compute(s.CPUModel.PredictDataset(noisy), noisy.Ys())
+		pred, err := s.CPUModel.PredictDatasetChecked(noisy)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := metrics.Compute(pred, noisy.Ys())
 		if err != nil {
 			return nil, err
 		}

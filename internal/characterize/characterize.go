@@ -56,7 +56,10 @@ func ProfileOf(tree *mtree.Tree, d *dataset.Dataset, name string) (Profile, erro
 	p := Profile{Name: name, Shares: make([]float64, tree.NumLeaves()), N: d.Len()}
 	var cpiSum float64
 	for _, s := range d.Samples {
-		leaf := tree.Classify(s.X)
+		leaf, err := tree.ClassifyChecked(s.X)
+		if err != nil {
+			return Profile{}, fmt.Errorf("characterize: %s: %w", name, err)
+		}
 		p.Shares[leaf.LeafID-1]++
 		cpiSum += s.Y
 	}

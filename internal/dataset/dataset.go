@@ -10,6 +10,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"specchar/internal/stats"
 )
@@ -64,11 +65,27 @@ func New(schema *Schema) *Dataset {
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Samples) }
 
-// Append adds a sample, validating its width against the schema.
+// ErrNonFinite is returned when a sample carries a NaN or infinite value.
+// Non-finite values are rejected at ingest because they silently corrupt
+// everything downstream: NaN breaks the model tree's sort invariants
+// (every comparison is false) and poisons regressions and summary
+// statistics.
+var ErrNonFinite = errors.New("dataset: non-finite value")
+
+// Append adds a sample, validating its width against the schema and
+// rejecting non-finite predictor or response values.
 func (d *Dataset) Append(s Sample) error {
 	if len(s.X) != d.Schema.NumAttrs() {
 		return fmt.Errorf("dataset: sample width %d does not match schema width %d",
 			len(s.X), d.Schema.NumAttrs())
+	}
+	for j, v := range s.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: attribute %q is %v", ErrNonFinite, d.Schema.Attributes[j], v)
+		}
+	}
+	if math.IsNaN(s.Y) || math.IsInf(s.Y, 0) {
+		return fmt.Errorf("%w: response %q is %v", ErrNonFinite, d.Schema.Response, s.Y)
 	}
 	d.Samples = append(d.Samples, s)
 	return nil

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -60,6 +61,34 @@ func TestAppendValidatesWidth(t *testing.T) {
 	}
 	if d.Len() != 1 {
 		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestAppendRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sample
+	}{
+		{"NaN attr", Sample{X: []float64{1, math.NaN(), 3}, Y: 1}},
+		{"+Inf attr", Sample{X: []float64{math.Inf(1), 2, 3}, Y: 1}},
+		{"-Inf attr", Sample{X: []float64{1, 2, math.Inf(-1)}, Y: 1}},
+		{"NaN response", Sample{X: []float64{1, 2, 3}, Y: math.NaN()}},
+		{"Inf response", Sample{X: []float64{1, 2, 3}, Y: math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(testSchema())
+			err := d.Append(tc.s)
+			if err == nil {
+				t.Fatal("Append accepted a non-finite sample")
+			}
+			if !errors.Is(err, ErrNonFinite) {
+				t.Errorf("error %v is not ErrNonFinite", err)
+			}
+			if d.Len() != 0 {
+				t.Errorf("rejected sample was stored; Len = %d", d.Len())
+			}
+		})
 	}
 }
 

@@ -74,7 +74,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 		s.Y = y
 		if err := d.Append(s); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
 		}
 	}
 	return d, nil
@@ -163,7 +163,7 @@ func ReadARFF(r io.Reader) (*Dataset, error) {
 		}
 		s.Y = y
 		if err := d.Append(s); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -84,6 +84,9 @@ func TestReadCSVErrors(t *testing.T) {
 		{"bad first column", "x,A,CPI\na,1,2\n"},
 		{"non-numeric attr", "label,A,CPI\na,zzz,2\n"},
 		{"non-numeric response", "label,A,CPI\na,1,zzz\n"},
+		{"NaN attr", "label,A,CPI\na,NaN,2\n"},
+		{"Inf attr", "label,A,CPI\na,+Inf,2\n"},
+		{"NaN response", "label,A,CPI\na,1,NaN\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
@@ -103,6 +106,7 @@ func TestReadARFFErrors(t *testing.T) {
 		{"malformed attribute", "@ATTRIBUTE onlyname\n"},
 		{"wrong field count", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nfoo,1\n"},
 		{"bad number", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nfoo,xx,1\n"},
+		{"NaN value", "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nfoo,NaN,1\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadARFF(strings.NewReader(c.in)); err == nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // ErrDimension is returned when the design matrix and response disagree in
@@ -85,8 +86,16 @@ func Fit(xs [][]float64, y []float64, terms []int) (*Model, error) {
 	}
 	p := len(terms) + 1 // +1 for intercept
 	// Build the design matrix column-major would save nothing here; use a
-	// dense row-major copy since n*p is small at tree leaves.
-	a := make([]float64, n*p)
+	// dense row-major copy since n*p is small at tree leaves. The matrix
+	// and the solver's working vectors come from a pool: tree induction
+	// calls Fit thousands of times on small systems and these buffers
+	// dominated its allocation profile.
+	sc := fitPool.Get().(*fitScratch)
+	defer fitPool.Put(sc)
+	a := sc.floats(&sc.a, n*p)
+	for i := range a {
+		a[i] = 0
+	}
 	for i, row := range xs {
 		a[i*p] = 1
 		for j, t := range terms {
@@ -96,9 +105,10 @@ func Fit(xs [][]float64, y []float64, terms []int) (*Model, error) {
 			a[i*p+j+1] = row[t]
 		}
 	}
-	b := append([]float64(nil), y...)
+	b := sc.floats(&sc.b, n)
+	copy(b, y)
 
-	beta, ok := solveQR(a, b, n, p)
+	beta, ok := solveQR(a, b, n, p, sc)
 	if beta == nil {
 		return nil, errors.New("linreg: singular system with no rows")
 	}
@@ -111,6 +121,27 @@ func Fit(xs [][]float64, y []float64, terms []int) (*Model, error) {
 		model.Terms = append(model.Terms, t)
 	}
 	return model, nil
+}
+
+// fitScratch carries the reusable working set of one Fit call: the design
+// matrix, the response copy, and the solver's solution/mask/tolerance
+// vectors. Nothing in it escapes — the returned Model copies the entries
+// it keeps — so the whole set can go back to the pool on return.
+type fitScratch struct {
+	a, b, beta, tol []float64
+	ok              []bool
+}
+
+var fitPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
+// floats resizes one of the scratch's float buffers to n without zeroing;
+// callers overwrite every element they read.
+func (sc *fitScratch) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // FitConstant returns the degenerate model y = mean(y), used for leaves
@@ -130,8 +161,9 @@ func FitConstant(y []float64) *Model {
 // solveQR factors the n-by-p row-major matrix a with Householder
 // reflections, solving a*beta = b in the least-squares sense. It returns
 // the solution and a mask of columns that were numerically independent;
-// dependent columns get beta 0 and ok false.
-func solveQR(a, b []float64, n, p int) (beta []float64, ok []bool) {
+// dependent columns get beta 0 and ok false. The returned slices live in
+// sc and are only valid until the scratch is pooled again.
+func solveQR(a, b []float64, n, p int, sc *fitScratch) (beta []float64, ok []bool) {
 	if n == 0 {
 		return nil, nil
 	}
@@ -139,9 +171,15 @@ func solveQR(a, b []float64, n, p int) (beta []float64, ok []bool) {
 	if cols > n {
 		cols = n
 	}
-	ok = make([]bool, p)
+	if cap(sc.ok) < p {
+		sc.ok = make([]bool, p)
+	}
+	ok = sc.ok[:p]
+	for i := range ok {
+		ok[i] = false
+	}
 	// Column norms for the degeneracy tolerance.
-	tol := make([]float64, p)
+	tol := sc.floats(&sc.tol, p)
 	for j := 0; j < p; j++ {
 		var s float64
 		for i := 0; i < n; i++ {
@@ -198,7 +236,12 @@ func solveQR(a, b []float64, n, p int) (beta []float64, ok []bool) {
 		a[k*p+k] = -norm // store R diagonal (Householder sign convention)
 	}
 	// Back substitution on R (upper triangular in a), skipping dead columns.
-	beta = make([]float64, p)
+	// Zeroed in full: positions at or beyond cols are read by the inner
+	// substitution loop but never assigned.
+	beta = sc.floats(&sc.beta, p)
+	for i := range beta {
+		beta[i] = 0
+	}
 	for k := cols - 1; k >= 0; k-- {
 		if !ok[k] {
 			beta[k] = 0
@@ -258,10 +301,13 @@ func CompensatedError(m *Model, xs [][]float64, y []float64) float64 {
 func Simplify(m *Model, xs [][]float64, y []float64) *Model {
 	best := m
 	bestErr := CompensatedError(best, xs, y)
+	// One reusable candidate-term buffer: Fit copies the entries it keeps
+	// into the model, so the buffer can be rewritten between trials.
+	trial := make([]int, 0, len(m.Terms))
 	for {
 		improved := false
 		for drop := 0; drop < len(best.Terms); drop++ {
-			trial := make([]int, 0, len(best.Terms)-1)
+			trial = trial[:0]
 			trial = append(trial, best.Terms[:drop]...)
 			trial = append(trial, best.Terms[drop+1:]...)
 			var cand *Model

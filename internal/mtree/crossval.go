@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"specchar/internal/dataset"
 )
@@ -27,6 +28,9 @@ type CVResult struct {
 // CrossValidate performs k-fold cross-validation: the dataset is
 // shuffled deterministically by seed, partitioned into k folds, and a
 // tree is trained on each k-1 fold union and scored on the held-out fold.
+// Folds are independent, so they train concurrently on the worker pool
+// configured by opts.Workers; the fold partition and every per-fold
+// number are identical for any worker count.
 func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVResult, error) {
 	n := d.Len()
 	if k < 2 {
@@ -36,30 +40,54 @@ func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVRes
 		return nil, fmt.Errorf("mtree: %d samples too few for %d folds", n, k)
 	}
 	perm := dataset.NewRNG(seed).Perm(n)
-	res := &CVResult{Folds: k}
+	res := &CVResult{
+		Folds:    k,
+		FoldMAE:  make([]float64, k),
+		FoldRMSE: make([]float64, k),
+	}
+	workers := effectiveWorkers(opts.Workers)
+	if workers > k {
+		workers = k
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
 	for fold := 0; fold < k; fold++ {
-		train := dataset.New(d.Schema)
-		test := dataset.New(d.Schema)
-		for i, idx := range perm {
-			if i%k == fold {
-				test.Samples = append(test.Samples, d.Samples[idx])
-			} else {
-				train.Samples = append(train.Samples, d.Samples[idx])
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fold int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			train := dataset.New(d.Schema)
+			test := dataset.New(d.Schema)
+			for i, idx := range perm {
+				if i%k == fold {
+					test.Samples = append(test.Samples, d.Samples[idx])
+				} else {
+					train.Samples = append(train.Samples, d.Samples[idx])
+				}
 			}
-		}
-		tree, err := Build(train, opts)
+			tree, err := Build(train, opts)
+			if err != nil {
+				errs[fold] = fmt.Errorf("mtree: fold %d: %w", fold, err)
+				return
+			}
+			var absSum, sqSum float64
+			for i, p := range tree.PredictDataset(test) {
+				r := p - test.Samples[i].Y
+				absSum += math.Abs(r)
+				sqSum += r * r
+			}
+			m := float64(test.Len())
+			res.FoldMAE[fold] = absSum / m
+			res.FoldRMSE[fold] = math.Sqrt(sqSum / m)
+		}(fold)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mtree: fold %d: %w", fold, err)
+			return nil, err
 		}
-		var absSum, sqSum float64
-		for _, s := range test.Samples {
-			r := tree.Predict(s.X) - s.Y
-			absSum += math.Abs(r)
-			sqSum += r * r
-		}
-		m := float64(test.Len())
-		res.FoldMAE = append(res.FoldMAE, absSum/m)
-		res.FoldRMSE = append(res.FoldRMSE, math.Sqrt(sqSum/m))
 	}
 	for i := 0; i < k; i++ {
 		res.MeanMAE += res.FoldMAE[i]

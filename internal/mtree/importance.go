@@ -1,7 +1,9 @@
 package mtree
 
 import (
+	"math"
 	"sort"
+	"sync"
 
 	"specchar/internal/dataset"
 )
@@ -25,8 +27,11 @@ type AttrImportance struct {
 // importance from split positions; permutation importance measures it).
 //
 // rounds permutations are averaged per attribute (3-5 is typical);
-// deterministic for a fixed seed. The result is sorted by descending
-// importance.
+// deterministic for a fixed seed. All permutations are drawn up front in
+// (attribute, round) order from the seeded RNG, then the per-attribute
+// evaluations fan out across the worker pool — each goroutine scores with
+// its own scratch row, so the result is identical at any worker count.
+// The result is sorted by descending importance.
 func (t *Tree) PermutationImportance(d *dataset.Dataset, rounds int, seed uint64) []AttrImportance {
 	n := d.Len()
 	if n == 0 {
@@ -39,31 +44,52 @@ func (t *Tree) PermutationImportance(d *dataset.Dataset, rounds int, seed uint64
 	nAttrs := d.Schema.NumAttrs()
 	out := make([]AttrImportance, nAttrs)
 	rng := dataset.NewRNG(seed)
-
-	// Reusable scratch row so permutation never mutates the dataset.
-	row := make([]float64, nAttrs)
+	perms := make([][][]int, nAttrs)
 	for a := 0; a < nAttrs; a++ {
-		out[a].Attr = a
-		if a < len(d.Schema.Attributes) {
-			out[a].Name = d.Schema.Attributes[a]
-		}
-		var total float64
+		perms[a] = make([][]int, rounds)
 		for r := 0; r < rounds; r++ {
-			perm := rng.Perm(n)
-			var absSum float64
-			for i, s := range d.Samples {
-				copy(row, s.X)
-				row[a] = d.Samples[perm[i]].X[a]
-				diff := t.Predict(row) - s.Y
-				if diff < 0 {
-					diff = -diff
-				}
-				absSum += diff
-			}
-			total += absSum/float64(n) - baseMAE
+			perms[a][r] = rng.Perm(n)
 		}
-		out[a].MAEIncrease = total / float64(rounds)
 	}
+
+	workers := effectiveWorkers(t.Opts.Workers)
+	if workers > nAttrs {
+		workers = nAttrs
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for a := 0; a < nAttrs; a++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[a].Attr = a
+			if a < len(d.Schema.Attributes) {
+				out[a].Name = d.Schema.Attributes[a]
+			}
+			// Goroutine-local scratch row so permutation never mutates
+			// the dataset or races with sibling attributes.
+			row := make([]float64, nAttrs)
+			var total float64
+			for r := 0; r < rounds; r++ {
+				perm := perms[a][r]
+				var absSum float64
+				for i, s := range d.Samples {
+					copy(row, s.X)
+					row[a] = d.Samples[perm[i]].X[a]
+					diff := t.Predict(row) - s.Y
+					if diff < 0 {
+						diff = -diff
+					}
+					absSum += diff
+				}
+				total += absSum/float64(n) - baseMAE
+			}
+			out[a].MAEIncrease = total / float64(rounds)
+		}(a)
+	}
+	wg.Wait()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].MAEIncrease > out[j].MAEIncrease })
 	return out
 }
@@ -74,12 +100,8 @@ func (t *Tree) datasetMAE(d *dataset.Dataset) float64 {
 		return 0
 	}
 	var s float64
-	for _, smp := range d.Samples {
-		diff := t.Predict(smp.X) - smp.Y
-		if diff < 0 {
-			diff = -diff
-		}
-		s += diff
+	for i, p := range t.PredictDataset(d) {
+		s += math.Abs(p - d.Samples[i].Y)
 	}
 	return s / float64(d.Len())
 }

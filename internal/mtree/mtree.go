@@ -6,6 +6,12 @@
 // model are pruned away, and predictions are optionally smoothed along the
 // path from leaf to root.
 //
+// Induction, model fitting, pruning, and batch prediction all run on a
+// bounded worker pool (see Options.Workers); the induced tree is
+// bit-for-bit identical for every worker count because sibling subtrees
+// own disjoint ranges of a stably partitioned sample array, so no float
+// reduction ever changes order.
+//
 // References: Quinlan, "Learning with Continuous Classes" (1992);
 // Wang & Witten, "Induction of model trees for predicting continuous
 // classes" (1997) — the M5' variant re-implemented in WEKA and used by
@@ -14,7 +20,9 @@ package mtree
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"specchar/internal/dataset"
@@ -54,6 +62,13 @@ type Options struct {
 
 	// SmoothingK is the smoothing constant (Quinlan uses 15).
 	SmoothingK float64
+
+	// Workers bounds the goroutines used for induction and batch
+	// prediction: 0 (the default) uses runtime.GOMAXPROCS, 1 forces fully
+	// serial operation. Every worker count induces the identical tree.
+	// A resource knob rather than a model property, so it is excluded
+	// from serialized trees.
+	Workers int `json:"-"`
 }
 
 // DefaultOptions returns the configuration used for the paper
@@ -128,29 +143,53 @@ func Build(d *dataset.Dataset, opts Options) (*Tree, error) {
 	if opts.MinSplit < 2*opts.MinLeaf {
 		opts.MinSplit = 2 * opts.MinLeaf
 	}
+	n := d.Len()
 	b := &builder{
+		// Xs/Ys return fresh top-level slices (row views and a response
+		// copy), so the builder may permute them freely; the dataset's own
+		// storage is never reordered or written.
 		xs:   d.Xs(),
 		ys:   d.Ys(),
+		ord:  indicesUpTo(n),
 		opts: opts,
 	}
-	rootSD := popSD(b.ys, indicesUpTo(len(b.ys)))
+	if w := effectiveWorkers(opts.Workers); w > 1 {
+		b.sem = make(chan struct{}, w-1)
+	}
+	rootSD := popSDRange(b.ys, 0, n)
 	b.sdStop = rootSD * opts.SDThresholdFrac
 
-	root := b.grow(indicesUpTo(len(b.ys)), 0)
-	b.fitModels(root, indicesUpTo(len(b.ys)))
+	root := b.grow(0, n, 0)
+	b.fitModels(root, 0, n)
 	if opts.Prune {
-		b.prune(root, indicesUpTo(len(b.ys)))
+		b.prune(root, 0, n)
 	}
 	t := &Tree{Schema: d.Schema, Root: root, Opts: opts}
 	t.numberLeaves()
 	return t, nil
 }
 
+// effectiveWorkers resolves the Workers option to a concrete pool size.
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// builder holds the mutable induction state: three parallel arrays (row
+// views, responses, original sample indices) that grow reorders with
+// stable in-place partitions. After a node partitions its range [lo,hi)
+// at mid, the left subtree owns [lo,mid) and the right subtree owns
+// [mid,hi), so concurrent sibling work never overlaps and fitModels/prune
+// recover child ranges from Node.N instead of re-partitioning or copying.
 type builder struct {
 	xs     [][]float64
 	ys     []float64
+	ord    []int // original sample index, the deterministic sort tie-break
 	opts   Options
 	sdStop float64
+	sem    chan struct{} // grants for extra worker goroutines; nil = serial
 }
 
 func indicesUpTo(n int) []int {
@@ -161,44 +200,104 @@ func indicesUpTo(n int) []int {
 	return idx
 }
 
-// grow builds the unpruned split structure over the sample indices.
-func (b *builder) grow(idx []int, depth int) *Node {
-	n := &Node{
-		N:     len(idx),
-		MeanY: meanAt(b.ys, idx),
-		SD:    popSD(b.ys, idx),
+// parallelNodeThreshold is the subtree size below which sibling work stays
+// on the current goroutine — under a few hundred samples the handoff costs
+// more than the work.
+const parallelNodeThreshold = 512
+
+// forkJoin runs left and right, lifting left onto a worker goroutine when
+// the pool has a free grant and the node is large enough to amortize the
+// handoff. Both closures operate on disjoint array ranges, so the join is
+// the only synchronization needed.
+func (b *builder) forkJoin(size int, left, right func()) {
+	if b.sem != nil && size >= parallelNodeThreshold {
+		select {
+		case b.sem <- struct{}{}:
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				left()
+				<-b.sem
+			}()
+			right()
+			<-done
+			return
+		default:
+		}
 	}
-	if len(idx) < b.opts.MinSplit || n.SD <= b.sdStop ||
+	left()
+	right()
+}
+
+// grow builds the unpruned split structure over [lo,hi).
+func (b *builder) grow(lo, hi, depth int) *Node {
+	n := &Node{
+		N:     hi - lo,
+		MeanY: meanRange(b.ys, lo, hi),
+		SD:    popSDRange(b.ys, lo, hi),
+	}
+	if hi-lo < b.opts.MinSplit || n.SD <= b.sdStop ||
 		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth) {
 		return n
 	}
-	attr, thr, ok := b.bestSplit(idx)
+	attr, thr, ok := b.bestSplit(lo, hi)
 	if !ok {
 		return n
 	}
-	var left, right []int
-	for _, i := range idx {
-		if b.xs[i][attr] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < b.opts.MinLeaf || len(right) < b.opts.MinLeaf {
+	mid := b.partition(lo, hi, attr, thr)
+	if mid-lo < b.opts.MinLeaf || hi-mid < b.opts.MinLeaf {
 		return n
 	}
 	n.Attr, n.Threshold = attr, thr
-	n.Left = b.grow(left, depth+1)
-	n.Right = b.grow(right, depth+1)
+	b.forkJoin(hi-lo,
+		func() { n.Left = b.grow(lo, mid, depth+1) },
+		func() { n.Right = b.grow(mid, hi, depth+1) })
 	return n
+}
+
+// partScratch buffers the right-hand side of a stable partition. Pooled so
+// concurrent subtree partitions allocate O(tree) total instead of the
+// O(n·depth) the old per-node index copies cost.
+type partScratch struct {
+	xs  [][]float64
+	ys  []float64
+	ord []int
+}
+
+var partPool = sync.Pool{New: func() any { return new(partScratch) }}
+
+// partition stably reorders [lo,hi) so samples with X[attr] <= thr come
+// first, returning the boundary. Stability preserves the original sample
+// order within each side, which keeps every downstream float reduction
+// (means, SDs, regressions) summing in the same order as a fully serial
+// build — the root of the bit-for-bit determinism guarantee.
+func (b *builder) partition(lo, hi, attr int, thr float64) int {
+	sc := partPool.Get().(*partScratch)
+	sc.xs, sc.ys, sc.ord = sc.xs[:0], sc.ys[:0], sc.ord[:0]
+	w := lo
+	for i := lo; i < hi; i++ {
+		if b.xs[i][attr] <= thr {
+			b.xs[w], b.ys[w], b.ord[w] = b.xs[i], b.ys[i], b.ord[i]
+			w++
+		} else {
+			sc.xs = append(sc.xs, b.xs[i])
+			sc.ys = append(sc.ys, b.ys[i])
+			sc.ord = append(sc.ord, b.ord[i])
+		}
+	}
+	copy(b.xs[w:hi], sc.xs)
+	copy(b.ys[w:hi], sc.ys)
+	copy(b.ord[w:hi], sc.ord)
+	partPool.Put(sc)
+	return w
 }
 
 // bestSplit finds the (attribute, threshold) pair maximizing the standard
 // deviation reduction SDR = sd(T) - sum |Ti|/|T| * sd(Ti). Ties break
 // toward the lowest attribute index, then the lowest threshold, keeping
 // induction deterministic.
-func (b *builder) bestSplit(idx []int) (attr int, threshold float64, ok bool) {
-	nAttrs := len(b.xs[idx[0]])
+func (b *builder) bestSplit(lo, hi int) (attr int, threshold float64, ok bool) {
+	nAttrs := len(b.xs[lo])
 
 	// The per-attribute scans are independent; on large nodes they are
 	// fanned out across goroutines. Results are reduced in attribute
@@ -209,20 +308,20 @@ func (b *builder) bestSplit(idx []int) (attr int, threshold float64, ok bool) {
 		valid bool
 	}
 	results := make([]result, nAttrs)
-	if len(idx) >= parallelSplitThreshold && nAttrs > 1 {
+	if hi-lo >= parallelSplitThreshold && nAttrs > 1 && b.sem != nil {
 		var wg sync.WaitGroup
 		for a := 0; a < nAttrs; a++ {
 			wg.Add(1)
 			go func(a int) {
 				defer wg.Done()
-				thr, sdr, valid := b.bestSplitForAttr(idx, a)
+				thr, sdr, valid := b.bestSplitForAttr(lo, hi, a)
 				results[a] = result{thr, sdr, valid}
 			}(a)
 		}
 		wg.Wait()
 	} else {
 		for a := 0; a < nAttrs; a++ {
-			thr, sdr, valid := b.bestSplitForAttr(idx, a)
+			thr, sdr, valid := b.bestSplitForAttr(lo, hi, a)
 			results[a] = result{thr, sdr, valid}
 		}
 	}
@@ -241,46 +340,85 @@ func (b *builder) bestSplit(idx []int) (attr int, threshold float64, ok bool) {
 // goroutine overhead would dominate their sort cost.
 const parallelSplitThreshold = 2048
 
+// splitScratch holds the per-scan working set of bestSplitForAttr, pooled
+// so concurrent attribute scans reuse buffers instead of allocating five
+// slices per (node, attribute) pair.
+type splitScratch struct {
+	order     []int
+	ysSorted  []float64
+	vals      []float64
+	prefixSum []float64
+	prefixSq  []float64
+}
+
+var splitPool = sync.Pool{New: func() any { return new(splitScratch) }}
+
+func (sc *splitScratch) resize(n int) {
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+		sc.ysSorted = make([]float64, n)
+		sc.vals = make([]float64, n)
+		sc.prefixSum = make([]float64, n+1)
+		sc.prefixSq = make([]float64, n+1)
+	}
+	sc.order = sc.order[:n]
+	sc.ysSorted = sc.ysSorted[:n]
+	sc.vals = sc.vals[:n]
+	sc.prefixSum = sc.prefixSum[:n+1]
+	sc.prefixSq = sc.prefixSq[:n+1]
+}
+
 // bestSplitForAttr scans one attribute's value boundaries for the
-// threshold maximizing the SDR over the samples in idx.
-func (b *builder) bestSplitForAttr(idx []int, a int) (threshold, bestSDR float64, ok bool) {
-	n := len(idx)
+// threshold maximizing the SDR over the samples in [lo,hi).
+func (b *builder) bestSplitForAttr(lo, hi, a int) (threshold, bestSDR float64, ok bool) {
+	n := hi - lo
 	if n < 2*b.opts.MinLeaf {
 		return 0, 0, false
 	}
-	sdAll := popSD(b.ys, idx)
-	if sdAll == 0 {
+	sdAll := popSDRange(b.ys, lo, hi)
+	if !(sdAll > 0) { // zero spread, or NaN from a corrupt response
 		return 0, 0, false
 	}
-	order := make([]int, n)
-	copy(order, idx)
-	sortByAttr(order, b.xs, a)
-	ysSorted := make([]float64, n)
-	vals := make([]float64, n)
-	for i, s := range order {
-		ysSorted[i] = b.ys[s]
-		vals[i] = b.xs[s][a]
+	// Non-finite attribute values break the sort invariants (every
+	// comparison against NaN is false), which would silently corrupt
+	// threshold selection; such an attribute admits no split. Ingest
+	// rejects non-finite data, so this is a defensive backstop for
+	// datasets assembled in memory.
+	for i := lo; i < hi; i++ {
+		if v := b.xs[i][a]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, false
+		}
+	}
+	sc := splitPool.Get().(*splitScratch)
+	defer splitPool.Put(sc)
+	sc.resize(n)
+	for i := range sc.order {
+		sc.order[i] = lo + i
+	}
+	sortByAttr(sc.order, b.xs, b.ord, a)
+	for i, p := range sc.order {
+		sc.ysSorted[i] = b.ys[p]
+		sc.vals[i] = b.xs[p][a]
 	}
 	// Prefix sums over the sorted responses for O(1) per-threshold SD.
 	var sum, sumsq float64
-	prefixSum := make([]float64, n+1)
-	prefixSq := make([]float64, n+1)
-	for i, y := range ysSorted {
+	sc.prefixSum[0], sc.prefixSq[0] = 0, 0
+	for i, y := range sc.ysSorted {
 		sum += y
 		sumsq += y * y
-		prefixSum[i+1] = sum
-		prefixSq[i+1] = sumsq
+		sc.prefixSum[i+1] = sum
+		sc.prefixSq[i+1] = sumsq
 	}
 	for cut := b.opts.MinLeaf; cut <= n-b.opts.MinLeaf; cut++ {
-		if vals[cut-1] == vals[cut] {
+		if sc.vals[cut-1] == sc.vals[cut] {
 			continue // not a value boundary
 		}
-		sdL := sdFromSums(prefixSum[cut], prefixSq[cut], cut)
-		sdR := sdFromSums(sum-prefixSum[cut], sumsq-prefixSq[cut], n-cut)
+		sdL := sdFromSums(sc.prefixSum[cut], sc.prefixSq[cut], cut)
+		sdR := sdFromSums(sum-sc.prefixSum[cut], sumsq-sc.prefixSq[cut], n-cut)
 		sdr := sdAll - (float64(cut)/float64(n))*sdL - (float64(n-cut)/float64(n))*sdR
 		if sdr > bestSDR+1e-15 {
 			bestSDR = sdr
-			threshold = (vals[cut-1] + vals[cut]) / 2
+			threshold = (sc.vals[cut-1] + sc.vals[cut]) / 2
 			ok = true
 		}
 	}
@@ -291,43 +429,43 @@ func (b *builder) bestSplitForAttr(idx []int, a int) (threshold, bestSDR float64
 // unpruned tree. Interior nodes regress on the attributes appearing in
 // splits of their subtree (Quinlan's restriction); original leaves, which
 // have no subtree, regress on all attributes and rely on the greedy
-// simplification step to discard useless terms.
-func (b *builder) fitModels(n *Node, idx []int) {
+// simplification step to discard useless terms. Child ranges are read
+// straight off the partition grow already performed, so no node copies or
+// re-partitions anything.
+func (b *builder) fitModels(n *Node, lo, hi int) {
 	if n.IsLeaf() {
-		n.Model = b.fitSimplified(idx, allAttrTerms(b.xs[idx[0]]))
+		n.Model = b.fitSimplified(lo, hi, allAttrTerms(b.xs[lo]))
 		return
 	}
-	var left, right []int
-	for _, i := range idx {
-		if b.xs[i][n.Attr] <= n.Threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	b.fitModels(n.Left, left)
-	b.fitModels(n.Right, right)
-	terms := subtreeSplitAttrs(n)
-	n.Model = b.fitSimplified(idx, terms)
+	mid := lo + n.Left.N
+	b.forkJoin(hi-lo,
+		func() { b.fitModels(n.Left, lo, mid) },
+		func() { b.fitModels(n.Right, mid, hi) })
+	n.Model = b.fitSimplified(lo, hi, subtreeSplitAttrs(n))
 }
 
-// fitSimplified fits a linear model on the given terms and greedily drops
-// terms under the compensated-error criterion. It degrades to a constant
-// model when regression fails or no terms are given.
-func (b *builder) fitSimplified(idx []int, terms []int) *linreg.Model {
-	xs := make([][]float64, len(idx))
-	ys := make([]float64, len(idx))
-	for j, i := range idx {
-		xs[j] = b.xs[i]
-		ys[j] = b.ys[i]
+// fitSimplified fits a linear model over [lo,hi) on the given terms and
+// greedily drops terms under the compensated-error criterion. It degrades
+// to a constant model when regression fails, no terms are given, or the
+// observations cannot support even a one-term basis.
+func (b *builder) fitSimplified(lo, hi int, terms []int) *linreg.Model {
+	xs := b.xs[lo:hi]
+	ys := b.ys[lo:hi]
+	n := hi - lo
+	if len(terms) == 0 {
+		return linreg.FitConstant(ys)
 	}
-	if len(terms) == 0 || len(idx) <= len(terms)+2 {
-		// Not enough observations to support the regressors; try a smaller
-		// basis or fall back to a constant.
-		if len(idx) > 3 && len(terms) > 0 {
-			terms = terms[:min(len(terms), len(idx)/2)]
-		} else {
+	if n <= len(terms)+2 {
+		// Truncate the basis until the system is over-determined. The
+		// cap at n-3 guarantees n > len(terms)+2 after truncation; the
+		// old n/2 heuristic alone could still hand linreg.Fit an
+		// under-determined system (e.g. n==4 kept 2 terms).
+		keep := min(n/2, n-3)
+		if keep < 1 {
 			return linreg.FitConstant(ys)
+		}
+		if keep < len(terms) {
+			terms = terms[:keep]
 		}
 	}
 	m, err := linreg.Fit(xs, ys, terms)
@@ -340,29 +478,19 @@ func (b *builder) fitSimplified(idx []int, terms []int) *linreg.Model {
 // prune walks bottom-up, replacing a subtree with its node-level model
 // whenever the model's compensated error is no worse than PruningFactor
 // times the subtree's. It returns the estimated error of whatever remains
-// at n.
-func (b *builder) prune(n *Node, idx []int) float64 {
-	xs := make([][]float64, len(idx))
-	ys := make([]float64, len(idx))
-	for j, i := range idx {
-		xs[j] = b.xs[i]
-		ys[j] = b.ys[i]
-	}
-	modelErr := linreg.CompensatedError(n.Model, xs, ys)
+// at n. Sibling subtrees are pruned concurrently; the parent's decision
+// waits on both children's errors.
+func (b *builder) prune(n *Node, lo, hi int) float64 {
+	modelErr := linreg.CompensatedError(n.Model, b.xs[lo:hi], b.ys[lo:hi])
 	if n.IsLeaf() {
 		return modelErr
 	}
-	var left, right []int
-	for _, i := range idx {
-		if b.xs[i][n.Attr] <= n.Threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	eL := b.prune(n.Left, left)
-	eR := b.prune(n.Right, right)
-	subtreeErr := (float64(len(left))*eL + float64(len(right))*eR) / float64(len(idx))
+	mid := lo + n.Left.N
+	var eL, eR float64
+	b.forkJoin(hi-lo,
+		func() { eL = b.prune(n.Left, lo, mid) },
+		func() { eR = b.prune(n.Right, mid, hi) })
+	subtreeErr := (float64(mid-lo)*eL + float64(hi-mid)*eR) / float64(hi-lo)
 	if modelErr <= subtreeErr*b.opts.PruningFactor {
 		// Collapse to a leaf carrying the node model.
 		n.Left, n.Right = nil, nil
@@ -388,7 +516,9 @@ func (t *Tree) numberLeaves() {
 	walk(t.Root)
 }
 
-// Classify returns the leaf that the sample vector falls into.
+// Classify returns the leaf that the sample vector falls into. The vector
+// must be at least as wide as the tree's schema; see ClassifyChecked for
+// the validating entry point.
 func (t *Tree) Classify(x []float64) *Node {
 	n := t.Root
 	for !n.IsLeaf() {
@@ -401,13 +531,53 @@ func (t *Tree) Classify(x []float64) *Node {
 	return n
 }
 
+// ErrSampleWidth is returned by the checked prediction entry points when a
+// sample vector does not match the tree's schema width.
+var ErrSampleWidth = errors.New("mtree: sample width does not match tree schema")
+
+// checkWidth validates a sample width against the tree's schema. Split
+// attributes and model terms are guaranteed (by Build) or validated (by
+// ReadJSON) to lie inside the schema, so schema width is the exact
+// requirement for safe evaluation.
+func (t *Tree) checkWidth(w int) error {
+	if t.Schema == nil || t.Root == nil {
+		return errors.New("mtree: tree has no schema or root")
+	}
+	if w != t.Schema.NumAttrs() {
+		return fmt.Errorf("%w: got %d attributes, schema has %d", ErrSampleWidth, w, t.Schema.NumAttrs())
+	}
+	return nil
+}
+
+// ClassifyChecked is Classify with input validation: a vector narrower
+// than the tree's schema returns ErrSampleWidth instead of panicking —
+// the safe entry point for samples from external files or deserialized
+// trees scored against a different schema.
+func (t *Tree) ClassifyChecked(x []float64) (*Node, error) {
+	if err := t.checkWidth(len(x)); err != nil {
+		return nil, err
+	}
+	return t.Classify(x), nil
+}
+
 // Predict returns the tree's prediction for the sample vector, applying
-// M5 smoothing along the root path when enabled.
+// M5 smoothing along the root path when enabled. The vector must match
+// the tree's schema width; see PredictChecked for the validating entry
+// point.
 func (t *Tree) Predict(x []float64) float64 {
 	if !t.Opts.Smooth {
 		return t.Classify(x).Model.Predict(x)
 	}
 	return t.predictSmoothed(t.Root, x)
+}
+
+// PredictChecked is Predict with input validation, returning
+// ErrSampleWidth for a vector that does not match the tree's schema.
+func (t *Tree) PredictChecked(x []float64) (float64, error) {
+	if err := t.checkWidth(len(x)); err != nil {
+		return 0, err
+	}
+	return t.Predict(x), nil
 }
 
 // predictSmoothed implements Quinlan's smoothing: the child's prediction p
@@ -427,13 +597,57 @@ func (t *Tree) predictSmoothed(n *Node, x []float64) float64 {
 	return (float64(child.N)*p + k*q) / (float64(child.N) + k)
 }
 
-// PredictDataset returns predictions for every sample in d.
+// predictParallelMin is the dataset size below which batch prediction
+// stays serial; smaller batches finish before the goroutines would spin
+// up.
+const predictParallelMin = 512
+
+// PredictDataset returns predictions for every sample in d. Large batches
+// are scored in fixed chunks across the tree's worker pool; every chunk
+// writes a disjoint range of the output, so the result is identical to a
+// serial pass.
 func (t *Tree) PredictDataset(d *dataset.Dataset) []float64 {
 	out := make([]float64, d.Len())
-	for i, s := range d.Samples {
-		out[i] = t.Predict(s.X)
+	workers := effectiveWorkers(t.Opts.Workers)
+	if workers <= 1 || d.Len() < predictParallelMin {
+		for i, s := range d.Samples {
+			out[i] = t.Predict(s.X)
+		}
+		return out
 	}
+	chunk := (d.Len() + workers - 1) / workers
+	if chunk < predictParallelMin/2 {
+		chunk = predictParallelMin / 2
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < d.Len(); lo += chunk {
+		hi := min(lo+chunk, d.Len())
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = t.Predict(d.Samples[i].X)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return out
+}
+
+// PredictDatasetChecked validates the dataset against the tree's schema
+// (width of the schema and of every sample row) before predicting — the
+// safe entry point for datasets loaded from external files.
+func (t *Tree) PredictDatasetChecked(d *dataset.Dataset) ([]float64, error) {
+	if err := t.checkWidth(d.Schema.NumAttrs()); err != nil {
+		return nil, err
+	}
+	for i := range d.Samples {
+		if len(d.Samples[i].X) != t.Schema.NumAttrs() {
+			return nil, fmt.Errorf("%w: sample %d has %d attributes, schema has %d",
+				ErrSampleWidth, i, len(d.Samples[i].X), t.Schema.NumAttrs())
+		}
+	}
+	return t.PredictDataset(d), nil
 }
 
 // Depth returns the maximum depth of the tree (a lone root has depth 1).
@@ -509,28 +723,29 @@ func allAttrTerms(row []float64) []int {
 	return out
 }
 
-func meanAt(ys []float64, idx []int) float64 {
-	if len(idx) == 0 {
+// meanRange is the mean of ys[lo:hi].
+func meanRange(ys []float64, lo, hi int) float64 {
+	if hi <= lo {
 		return 0
 	}
 	var s float64
-	for _, i := range idx {
-		s += ys[i]
+	for _, y := range ys[lo:hi] {
+		s += y
 	}
-	return s / float64(len(idx))
+	return s / float64(hi-lo)
 }
 
-func popSD(ys []float64, idx []int) float64 {
-	if len(idx) == 0 {
+// popSDRange is the population standard deviation of ys[lo:hi].
+func popSDRange(ys []float64, lo, hi int) float64 {
+	if hi <= lo {
 		return 0
 	}
 	var s, sq float64
-	for _, i := range idx {
-		y := ys[i]
+	for _, y := range ys[lo:hi] {
 		s += y
 		sq += y * y
 	}
-	return sdFromSums(s, sq, len(idx))
+	return sdFromSums(s, sq, hi-lo)
 }
 
 func sdFromSums(sum, sumsq float64, n int) float64 {
@@ -545,16 +760,17 @@ func sdFromSums(sum, sumsq float64, n int) float64 {
 	return math.Sqrt(v)
 }
 
-// sortByAttr sorts the index slice by the attribute value, ascending, with
-// index order breaking ties for determinism.
-func sortByAttr(idx []int, xs [][]float64, attr int) {
-	// Insertion sort would be O(n^2); use the stdlib via a local closure.
-	quickSortIdx(idx, func(a, b int) bool {
+// sortByAttr sorts the position slice by the attribute value, ascending,
+// with the original sample index (ord) breaking ties — an order that does
+// not depend on how earlier partitions arranged the array, keeping the
+// scan deterministic.
+func sortByAttr(pos []int, xs [][]float64, ord []int, attr int) {
+	quickSortIdx(pos, func(a, b int) bool {
 		va, vb := xs[a][attr], xs[b][attr]
 		if va != vb {
 			return va < vb
 		}
-		return a < b
+		return ord[a] < ord[b]
 	})
 }
 

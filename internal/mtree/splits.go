@@ -29,11 +29,10 @@ func EvaluateSplits(d *dataset.Dataset, opts Options) []SplitCandidate {
 	if opts.MinLeaf < 1 {
 		opts.MinLeaf = 1
 	}
-	b := &builder{xs: d.Xs(), ys: d.Ys(), opts: opts}
-	idx := indicesUpTo(d.Len())
+	b := &builder{xs: d.Xs(), ys: d.Ys(), ord: indicesUpTo(d.Len()), opts: opts}
 	out := make([]SplitCandidate, d.Schema.NumAttrs())
 	for a := range out {
-		thr, sdr, ok := b.bestSplitForAttr(idx, a)
+		thr, sdr, ok := b.bestSplitForAttr(0, d.Len(), a)
 		out[a] = SplitCandidate{Attr: a, Threshold: thr, SDR: sdr, Valid: ok}
 		if a < len(d.Schema.Attributes) {
 			out[a].Name = d.Schema.Attributes[a]

@@ -107,7 +107,10 @@ func Assess(model *mtree.Tree, train, test *dataset.Dataset, trainName, testName
 	if a.SampleTest, err = stats.TwoSampleTTest(trainY, testY); err != nil {
 		return nil, err
 	}
-	pred := model.PredictDataset(test)
+	pred, err := model.PredictDatasetChecked(test)
+	if err != nil {
+		return nil, fmt.Errorf("transfer: applying %s model to %s: %w", trainName, testName, err)
+	}
 	if a.PredictionTest, err = stats.TwoSampleTTest(pred, testY); err != nil {
 		return nil, err
 	}
@@ -213,7 +216,11 @@ func Sweep(d *dataset.Dataset, fractions []float64, treeOpts mtree.Options, seed
 		if err != nil {
 			return nil, err
 		}
-		rep, err := metrics.Compute(tree.PredictDataset(test), test.Ys())
+		pred, err := tree.PredictDatasetChecked(test)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := metrics.Compute(pred, test.Ys())
 		if err != nil {
 			return nil, err
 		}

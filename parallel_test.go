@@ -1,0 +1,56 @@
+package specchar
+
+import (
+	"bytes"
+	"testing"
+
+	"specchar/internal/mtree"
+	"specchar/internal/suites"
+)
+
+// TestParallelBuildMatchesSerial is the acceptance gate for parallel
+// induction: on generated CPU2006 and OMP2001 data, the tree built with
+// the full worker pool must serialize to the exact bytes of the serial
+// build. Runs at reduced generation scale so it stays cheap even in
+// -short mode.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	gen := suites.DefaultGenOptions()
+	gen.SamplesPerBenchmark = 60
+	gen.OpsPerWindow = 512
+	gen.WarmupOps = 8000
+
+	for _, suite := range []*suites.Suite{suites.CPU2006(), suites.OMP2001()} {
+		t.Run(suite.Name, func(t *testing.T) {
+			d, err := suites.Generate(suite, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := mtree.DefaultOptions()
+			opts.MinLeaf = 10
+
+			opts.Workers = 1
+			serial, err := mtree.Build(d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := serial.WriteJSON(&want); err != nil {
+				t.Fatal(err)
+			}
+
+			opts.Workers = 8
+			parallel, err := mtree.Build(d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := parallel.WriteJSON(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("%s: parallel build is not byte-identical to serial (%d vs %d bytes)",
+					suite.Name, got.Len(), want.Len())
+			}
+		})
+	}
+}
