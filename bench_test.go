@@ -92,7 +92,7 @@ func BenchmarkTable2CPU2006Distribution(b *testing.B) {
 	var profiles []characterize.Profile
 	for i := 0; i < b.N; i++ {
 		var err error
-		profiles, err = characterize.SuiteProfiles(s.CPUTree, s.CPU)
+		profiles, err = characterize.SuiteProfiles(s.CPUTreeCompiled, s.CPU)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func BenchmarkTable2CPU2006Distribution(b *testing.B) {
 // similarity matrix over CPU2006 benchmarks.
 func BenchmarkTable3Similarity(b *testing.B) {
 	s := benchStudy(b)
-	profiles, err := characterize.SuiteProfiles(s.CPUTree, s.CPU)
+	profiles, err := characterize.SuiteProfiles(s.CPUTreeCompiled, s.CPU)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func BenchmarkTable4OMPDistribution(b *testing.B) {
 	s := benchStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := characterize.SuiteProfiles(s.OMPTree, s.OMP); err != nil {
+		if _, err := characterize.SuiteProfiles(s.OMPTreeCompiled, s.OMP); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -326,13 +326,26 @@ func BenchmarkDataGeneration(b *testing.B) {
 }
 
 // BenchmarkPredict measures single-sample prediction latency through the
-// full-suite tree (with smoothing).
+// full-suite tree (with smoothing), interpreted: a recursive pointer walk
+// plus one model evaluation per root-path ancestor.
 func BenchmarkPredict(b *testing.B) {
 	s := benchStudy(b)
 	x := s.CPU.Samples[0].X
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.CPUTree.Predict(x)
+	}
+}
+
+// BenchmarkPredictCompiled measures the same prediction through the
+// compiled flat-array form: one SoA traversal plus a single pre-composed
+// dot product.
+func BenchmarkPredictCompiled(b *testing.B) {
+	s := benchStudy(b)
+	x := s.CPU.Samples[0].X
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.CPUTreeCompiled.Predict(x)
 	}
 }
 
@@ -375,6 +388,29 @@ func benchPredictDatasetWorkers(b *testing.B, workers int) {
 
 func BenchmarkPredictDatasetSerial(b *testing.B)   { benchPredictDatasetWorkers(b, 1) }
 func BenchmarkPredictDatasetParallel(b *testing.B) { benchPredictDatasetWorkers(b, 0) }
+
+// benchPredictDatasetCompiledWorkers times the compiled batch scorer over
+// the same dataset at a fixed worker count. The speedup of these over the
+// interpreted pair above is the tentpole's headline number (identical
+// predictions — see TestCompiledMatchesInterpretedOnSuites).
+func benchPredictDatasetCompiledWorkers(b *testing.B, workers int) {
+	s := benchStudy(b)
+	ctree, err := s.CPUTree.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctree.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if preds := ctree.PredictDataset(s.CPU); len(preds) != s.CPU.Len() {
+			b.Fatal("short prediction vector")
+		}
+	}
+}
+
+func BenchmarkPredictDatasetCompiledSerial(b *testing.B)   { benchPredictDatasetCompiledWorkers(b, 1) }
+func BenchmarkPredictDatasetCompiledParallel(b *testing.B) { benchPredictDatasetCompiledWorkers(b, 0) }
 
 // --- helpers ---
 

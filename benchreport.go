@@ -21,12 +21,13 @@ import (
 // nearest and farthest suite-mates.
 func (s *Study) BenchmarkReport(suiteName, benchName string) (string, error) {
 	var d *dataset.Dataset
-	var tree *mtree.Tree
+	var tree *mtree.Tree          // rendering source: leaf metadata, equations
+	var ctree *mtree.CompiledTree // scoring form: batch classification
 	switch suiteName {
 	case "cpu2006":
-		d, tree = s.CPU, s.CPUTree
+		d, tree, ctree = s.CPU, s.CPUTree, s.CPUTreeCompiled
 	case "omp2001":
-		d, tree = s.OMP, s.OMPTree
+		d, tree, ctree = s.OMP, s.OMPTree, s.OMPTreeCompiled
 	default:
 		return "", fmt.Errorf("specchar: unknown suite %q", suiteName)
 	}
@@ -49,7 +50,7 @@ func (s *Study) BenchmarkReport(suiteName, benchName string) (string, error) {
 		sub.Len(), benchSum.Mean, suiteSum.Mean, 100*(benchSum.Mean/suiteSum.Mean-1))
 
 	// Leaf-model concentration.
-	profile, err := characterize.ProfileOf(tree, sub, benchName)
+	profile, err := characterize.ProfileOf(ctree, sub, benchName)
 	if err != nil {
 		return "", err
 	}
@@ -120,7 +121,7 @@ func (s *Study) BenchmarkReport(suiteName, benchName string) (string, error) {
 	b.WriteString(t.String())
 
 	// Nearest and farthest suite-mates.
-	profiles, err := characterize.SuiteProfiles(tree, d)
+	profiles, err := characterize.SuiteProfiles(ctree, d)
 	if err != nil {
 		return "", err
 	}

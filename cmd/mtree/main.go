@@ -7,6 +7,7 @@
 //
 //	mtree -data suite.csv [-test held.csv | -holdout 0.3]
 //	      [-minleaf 4] [-maxdepth 0] [-noprune] [-nosmooth] [-splits]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The dataset format: first column "label", last column the response,
 // numeric predictors between (see internal/dataset).
@@ -22,6 +23,7 @@ import (
 	"specchar/internal/dataset"
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
+	"specchar/internal/profiling"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		loadFlag    = flag.String("load", "", "load a trained tree from JSON instead of training")
 		cvFlag      = flag.Int("cv", 0, "also run k-fold cross-validation (0 = off)")
 		seedFlag    = flag.Uint64("seed", 1, "seed for -holdout splitting and -cv folds")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *dataFlag == "" {
@@ -48,101 +52,121 @@ func main() {
 		os.Exit(2)
 	}
 
-	train, err := readDataset(*dataFlag)
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var test *dataset.Dataset
-	switch {
-	case *testFlag != "":
-		if test, err = readDataset(*testFlag); err != nil {
-			log.Fatal(err)
-		}
-	case *holdoutFlag > 0 && *holdoutFlag < 1:
-		train, test = train.Split(dataset.NewRNG(*seedFlag), 1-*holdoutFlag)
-	}
-
-	opts := mtree.DefaultOptions()
-	opts.MinLeaf = *minLeaf
-	opts.MaxDepth = *maxDepth
-	opts.Prune = !*noPrune
-	opts.Smooth = !*noSmooth
-
-	var tree *mtree.Tree
-	if *loadFlag != "" {
-		f, err := os.Open(*loadFlag)
+	// log.Fatal would skip the profile flush, so the body runs in a
+	// closure and every failure funnels through one exit path.
+	run := func() error {
+		train, err := readDataset(*dataFlag)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		tree, err = mtree.ReadJSON(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts = tree.Opts
-	} else {
-		var err error
-		tree, err = mtree.Build(train, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *saveFlag != "" {
-		f, err := os.Create(*saveFlag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tree.WriteJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("trained on %d samples (%d attributes): %d leaf models, depth %d\n\n",
-		train.Len(), train.Schema.NumAttrs(), tree.NumLeaves(), tree.Depth())
-	fmt.Print(tree.Render())
-	fmt.Println()
-	fmt.Print(tree.RenderModels())
-
-	if *splitsFlag {
-		fmt.Println()
-		fmt.Println("per-attribute SDR ranking over the training set:")
-		for i, c := range mtree.EvaluateSplits(train, opts) {
-			if !c.Valid {
-				continue
+		var test *dataset.Dataset
+		switch {
+		case *testFlag != "":
+			if test, err = readDataset(*testFlag); err != nil {
+				return err
 			}
-			fmt.Printf("  %2d. %-12s threshold=%.6g SDR=%.5f\n", i+1, c.Name, c.Threshold, c.SDR)
+		case *holdoutFlag > 0 && *holdoutFlag < 1:
+			train, test = train.Split(dataset.NewRNG(*seedFlag), 1-*holdoutFlag)
 		}
+
+		opts := mtree.DefaultOptions()
+		opts.MinLeaf = *minLeaf
+		opts.MaxDepth = *maxDepth
+		opts.Prune = !*noPrune
+		opts.Smooth = !*noSmooth
+
+		var tree *mtree.Tree
+		if *loadFlag != "" {
+			f, err := os.Open(*loadFlag)
+			if err != nil {
+				return err
+			}
+			tree, err = mtree.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			opts = tree.Opts
+		} else {
+			if tree, err = mtree.Build(train, opts); err != nil {
+				return err
+			}
+		}
+		if *saveFlag != "" {
+			f, err := os.Create(*saveFlag)
+			if err != nil {
+				return err
+			}
+			if err := tree.WriteJSON(f); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("trained on %d samples (%d attributes): %d leaf models, depth %d\n\n",
+			train.Len(), train.Schema.NumAttrs(), tree.NumLeaves(), tree.Depth())
+		fmt.Print(tree.Render())
+		fmt.Println()
+		fmt.Print(tree.RenderModels())
+
+		if *splitsFlag {
+			fmt.Println()
+			fmt.Println("per-attribute SDR ranking over the training set:")
+			for i, c := range mtree.EvaluateSplits(train, opts) {
+				if !c.Valid {
+					continue
+				}
+				fmt.Printf("  %2d. %-12s threshold=%.6g SDR=%.5f\n", i+1, c.Name, c.Threshold, c.SDR)
+			}
+		}
+
+		if test != nil && test.Len() > 0 {
+			// Evaluation runs on the compiled flat-array form; checked
+			// prediction keeps a mismatched -test schema a diagnostic, not
+			// a panic.
+			ctree, err := tree.Compile()
+			if err != nil {
+				return err
+			}
+			pred, err := ctree.PredictDatasetChecked(test)
+			if err != nil {
+				return err
+			}
+			rep, err := metrics.Compute(pred, test.Ys())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nheld-out accuracy (%d samples): %s\n", test.Len(), rep)
+		}
+
+		if *cvFlag > 1 {
+			cv, err := mtree.CrossValidate(train, *cvFlag, opts, *seedFlag)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%s\n", cv)
+		}
+
+		if *dotFlag != "" {
+			if err := os.WriteFile(*dotFlag, []byte(tree.RenderDot("M5' model tree")), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote Graphviz tree to %s (render with: dot -Tsvg %s -o tree.svg)\n", *dotFlag, *dotFlag)
+		}
+		return nil
 	}
 
-	if test != nil && test.Len() > 0 {
-		// Checked prediction: a -test file whose schema is narrower than
-		// the training data must be a diagnostic, not a panic.
-		pred, err := tree.PredictDatasetChecked(test)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := metrics.Compute(pred, test.Ys())
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nheld-out accuracy (%d samples): %s\n", test.Len(), rep)
+	err = run()
+	if perr := stopProfiling(); err == nil {
+		err = perr
 	}
-
-	if *cvFlag > 1 {
-		cv, err := mtree.CrossValidate(train, *cvFlag, opts, *seedFlag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n%s\n", cv)
-	}
-
-	if *dotFlag != "" {
-		if err := os.WriteFile(*dotFlag, []byte(tree.RenderDot("M5' model tree")), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nwrote Graphviz tree to %s (render with: dot -Tsvg %s -o tree.svg)\n", *dotFlag, *dotFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
 }
 

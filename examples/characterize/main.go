@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	profiles, err := characterize.SuiteProfiles(study.CPUTree, study.CPU)
+	profiles, err := characterize.SuiteProfiles(study.CPUTreeCompiled, study.CPU)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,9 +66,10 @@ func main() {
 	sum, _ := data.Summary()
 	fmt.Printf("memdb: %d intervals, CPI mean %.2f sd %.2f\n\n", data.Len(), sum.Mean, sum.StdDev)
 
-	// Classify the new workload through the CPU2006 tree: which existing
+	// Classify the new workload through the CPU2006 tree (its compiled
+	// flat-array form — the batch-scoring representation): which existing
 	// behaviour classes does it exercise?
-	profile, err := characterize.ProfileOf(study.CPUTree, data, "memdb.probe")
+	profile, err := characterize.ProfileOf(study.CPUTreeCompiled, data, "memdb.probe")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func main() {
 	}
 
 	// Which existing benchmark is it most like?
-	profiles, err := characterize.SuiteProfiles(study.CPUTree, study.CPU)
+	profiles, err := characterize.SuiteProfiles(study.CPUTreeCompiled, study.CPU)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func main() {
 	fmt.Printf("\nnearest CPU2006 benchmark: %s (distance %.1f%%)\n", bestName, 100*bestD)
 
 	// Does the CPU2006 model predict this workload's performance?
-	rep, err := metrics.Compute(study.CPUTree.PredictDataset(data), data.Ys())
+	rep, err := metrics.Compute(study.CPUTreeCompiled.PredictDataset(data), data.Ys())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -135,7 +135,7 @@ func renderTreeFigure(title string, tree *mtree.Tree, n int) string {
 // linear models (the paper's Table II; contributions >= 20% are starred,
 // standing in for the paper's bold).
 func (s *Study) Table2() (string, error) {
-	profiles, err := characterize.SuiteProfiles(s.CPUTree, s.CPU)
+	profiles, err := characterize.SuiteProfiles(s.CPUTreeCompiled, s.CPU)
 	if err != nil {
 		return "", err
 	}
@@ -145,7 +145,7 @@ func (s *Study) Table2() (string, error) {
 
 // Table4 renders the OMP2001 distribution (the paper's Table IV).
 func (s *Study) Table4() (string, error) {
-	profiles, err := characterize.SuiteProfiles(s.OMPTree, s.OMP)
+	profiles, err := characterize.SuiteProfiles(s.OMPTreeCompiled, s.OMP)
 	if err != nil {
 		return "", err
 	}
@@ -163,7 +163,7 @@ var Table3Names = []string{
 // Table3 renders the pairwise similarity matrix over the paper's Table III
 // subset plus the closest and farthest pairs across the whole suite.
 func (s *Study) Table3() (string, error) {
-	profiles, err := characterize.SuiteProfiles(s.CPUTree, s.CPU)
+	profiles, err := characterize.SuiteProfiles(s.CPUTreeCompiled, s.CPU)
 	if err != nil {
 		return "", err
 	}

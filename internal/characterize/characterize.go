@@ -12,9 +12,21 @@ import (
 	"sort"
 
 	"specchar/internal/dataset"
-	"specchar/internal/mtree"
 	"specchar/internal/tables"
 )
+
+// Classifier is the model-side dependency of profiling: a trained M5'
+// tree that can batch-classify a dataset into its leaf models. Both the
+// pointer form (*mtree.Tree) and the compiled batch form
+// (*mtree.CompiledTree) satisfy it; profiling classifies every sample of
+// a suite, so callers holding a trained tree should compile it once and
+// pass the compiled form.
+type Classifier interface {
+	NumLeaves() int
+	// ClassifyLeavesChecked returns the 1-based LeafID of every sample,
+	// or an error when the dataset does not match the model's schema.
+	ClassifyLeavesChecked(d *dataset.Dataset) ([]int, error)
+}
 
 // Profile is the distribution of one benchmark's samples over the leaf
 // linear models of a tree.
@@ -47,21 +59,21 @@ func (p *Profile) Dominant() (leafID int, share float64) {
 // ErrEmpty is returned when profiling an empty sample set.
 var ErrEmpty = errors.New("characterize: no samples to profile")
 
-// ProfileOf classifies every sample of d through the tree and returns the
-// leaf distribution.
-func ProfileOf(tree *mtree.Tree, d *dataset.Dataset, name string) (Profile, error) {
+// ProfileOf classifies every sample of d through the model and returns
+// the leaf distribution.
+func ProfileOf(model Classifier, d *dataset.Dataset, name string) (Profile, error) {
 	if d.Len() == 0 {
 		return Profile{}, ErrEmpty
 	}
-	p := Profile{Name: name, Shares: make([]float64, tree.NumLeaves()), N: d.Len()}
+	leafIDs, err := model.ClassifyLeavesChecked(d)
+	if err != nil {
+		return Profile{}, fmt.Errorf("characterize: %s: %w", name, err)
+	}
+	p := Profile{Name: name, Shares: make([]float64, model.NumLeaves()), N: d.Len()}
 	var cpiSum float64
-	for _, s := range d.Samples {
-		leaf, err := tree.ClassifyChecked(s.X)
-		if err != nil {
-			return Profile{}, fmt.Errorf("characterize: %s: %w", name, err)
-		}
-		p.Shares[leaf.LeafID-1]++
-		cpiSum += s.Y
+	for i, id := range leafIDs {
+		p.Shares[id-1]++
+		cpiSum += d.Samples[i].Y
 	}
 	for i := range p.Shares {
 		p.Shares[i] /= float64(d.Len())
@@ -74,24 +86,24 @@ func ProfileOf(tree *mtree.Tree, d *dataset.Dataset, name string) (Profile, erro
 // rows the paper's Tables II/IV carry: "Suite" (all samples pooled, i.e.
 // instruction-count weighted) and "Average" (unweighted mean of the
 // per-benchmark profiles).
-func SuiteProfiles(tree *mtree.Tree, d *dataset.Dataset) ([]Profile, error) {
+func SuiteProfiles(model Classifier, d *dataset.Dataset) ([]Profile, error) {
 	labels := d.Labels()
 	if len(labels) == 0 {
 		return nil, ErrEmpty
 	}
 	out := make([]Profile, 0, len(labels)+2)
 	for _, label := range labels {
-		p, err := ProfileOf(tree, d.FilterLabel(label), label)
+		p, err := ProfileOf(model, d.FilterLabel(label), label)
 		if err != nil {
 			return nil, fmt.Errorf("characterize: %s: %w", label, err)
 		}
 		out = append(out, p)
 	}
-	suite, err := ProfileOf(tree, d, "Suite")
+	suite, err := ProfileOf(model, d, "Suite")
 	if err != nil {
 		return nil, err
 	}
-	avg := Profile{Name: "Average", Shares: make([]float64, tree.NumLeaves())}
+	avg := Profile{Name: "Average", Shares: make([]float64, model.NumLeaves())}
 	var cpiSum float64
 	for _, p := range out {
 		for i, s := range p.Shares {

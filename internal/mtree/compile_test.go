@@ -1,0 +1,218 @@
+package mtree
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"specchar/internal/dataset"
+)
+
+// closeEnough is the compiled/interpreted equivalence tolerance: the two
+// paths compose the same smoothing blend in a different association
+// order, so they may differ by float rounding but never by more than a
+// relative 1e-9.
+func closeEnough(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// assertCompiledEquivalent checks every per-sample and batch contract
+// between a tree and its compiled form on the dataset, across worker
+// counts.
+func assertCompiledEquivalent(t *testing.T, tree *Tree, d *dataset.Dataset) {
+	t.Helper()
+	ctree, err := tree.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got, want := ctree.NumLeaves(), tree.NumLeaves(); got != want {
+		t.Fatalf("NumLeaves = %d, want %d", got, want)
+	}
+	if got, want := ctree.Smoothed(), tree.Opts.Smooth; got != want {
+		t.Fatalf("Smoothed = %v, want %v", got, want)
+	}
+	for i, s := range d.Samples {
+		want := tree.Predict(s.X)
+		got := ctree.Predict(s.X)
+		if !closeEnough(got, want) {
+			t.Fatalf("sample %d: compiled %v, interpreted %v (diff %g)", i, got, want, got-want)
+		}
+		if leaf, wantLeaf := ctree.ClassifyLeaf(s.X), tree.Classify(s.X).LeafID; leaf != wantLeaf {
+			t.Fatalf("sample %d: ClassifyLeaf = %d, Classify().LeafID = %d", i, leaf, wantLeaf)
+		}
+	}
+	for _, workers := range []int{0, 1, 4, 8} {
+		ctree.Workers = workers
+		preds := ctree.PredictDataset(d)
+		leaves := ctree.ClassifyLeaves(d)
+		if len(preds) != d.Len() || len(leaves) != d.Len() {
+			t.Fatalf("workers=%d: batch lengths %d/%d, want %d", workers, len(preds), len(leaves), d.Len())
+		}
+		for i, s := range d.Samples {
+			// Batch and point prediction run the identical arithmetic, so
+			// they must agree bit-exactly at every worker count.
+			if want := ctree.Predict(s.X); preds[i] != want {
+				t.Fatalf("workers=%d sample %d: batch %v, point %v", workers, i, preds[i], want)
+			}
+			if want := ctree.ClassifyLeaf(s.X); leaves[i] != want {
+				t.Fatalf("workers=%d sample %d: batch leaf %d, point leaf %d", workers, i, leaves[i], want)
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	d := piecewiseDataset(3000, 11, 0.2)
+	for _, tc := range []struct {
+		name          string
+		smooth, prune bool
+	}{
+		{"smooth+prune", true, true},
+		{"smooth", true, false},
+		{"prune", false, true},
+		{"plain", false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.MinLeaf = 10
+			opts.Smooth = tc.smooth
+			opts.Prune = tc.prune
+			tree, err := Build(d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCompiledEquivalent(t, tree, d)
+		})
+	}
+}
+
+// TestCompiledMatchesGoldenTree pins equivalence on the committed golden
+// configuration — the exact tree every release serializes.
+func TestCompiledMatchesGoldenTree(t *testing.T) {
+	assertCompiledEquivalent(t, goldenBuild(t, 1), piecewiseDataset(1200, 17, 0.25))
+}
+
+// TestCompiledProperty fuzzes equivalence over random datasets and
+// induction options: whatever shape the tree takes, its compiled form
+// must predict identically.
+func TestCompiledProperty(t *testing.T) {
+	schema := &dataset.Schema{Response: "y", Attributes: []string{"a", "b", "c", "d"}}
+	for trial := 0; trial < 25; trial++ {
+		r := dataset.NewRNG(uint64(1000 + trial))
+		n := 200 + int(r.Uint64()%800)
+		d := dataset.New(schema)
+		for i := 0; i < n; i++ {
+			x := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+			y := 3*x[0] - 2*x[1] + (r.Float64()-0.5)*0.3
+			if x[2] > 0.5 {
+				y += 5 - 4*x[3]
+			}
+			_ = d.Append(dataset.Sample{X: x, Y: y, Label: "fuzz"})
+		}
+		opts := DefaultOptions()
+		opts.MinLeaf = 4 + int(r.Uint64()%20)
+		opts.MaxDepth = int(r.Uint64() % 6) // 0 = unlimited
+		opts.Smooth = r.Uint64()%2 == 0
+		opts.Prune = r.Uint64()%2 == 0
+		opts.SmoothingK = 5 + float64(r.Uint64()%30)
+		tree, err := Build(d, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertCompiledEquivalent(t, tree, d)
+	}
+}
+
+// TestCompiledLeafModels checks the inspectable pre-composed models: for
+// every sample, evaluating the LeafModel of the sample's leaf must equal
+// the compiled prediction.
+func TestCompiledLeafModels(t *testing.T) {
+	d := piecewiseDataset(1500, 23, 0.1)
+	tree, err := Build(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctree, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctree.LeafModel(0) != nil || ctree.LeafModel(ctree.NumLeaves()+1) != nil {
+		t.Error("LeafModel out of range should return nil")
+	}
+	for _, s := range d.Samples {
+		id := ctree.ClassifyLeaf(s.X)
+		m := ctree.LeafModel(id)
+		if m == nil {
+			t.Fatalf("LeafModel(%d) = nil", id)
+		}
+		if got, want := m.Predict(s.X), ctree.Predict(s.X); !closeEnough(got, want) {
+			t.Fatalf("LeafModel(%d).Predict = %v, compiled Predict = %v", id, got, want)
+		}
+	}
+}
+
+func TestCompiledCheckedErrors(t *testing.T) {
+	d := piecewiseDataset(600, 31, 0.1)
+	tree, err := Build(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctree, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctree.PredictChecked([]float64{1}); !errors.Is(err, ErrSampleWidth) {
+		t.Errorf("PredictChecked narrow: err = %v, want ErrSampleWidth", err)
+	}
+	if _, err := ctree.ClassifyLeafChecked([]float64{1, 2, 3}); !errors.Is(err, ErrSampleWidth) {
+		t.Errorf("ClassifyLeafChecked wide: err = %v, want ErrSampleWidth", err)
+	}
+	bad := dataset.New(&dataset.Schema{Response: "y", Attributes: []string{"a"}})
+	_ = bad.Append(dataset.Sample{X: []float64{0.5}, Y: 1})
+	if _, err := ctree.PredictDatasetChecked(bad); err == nil {
+		t.Error("PredictDatasetChecked accepted a narrower schema")
+	}
+	if _, err := ctree.ClassifyLeavesChecked(bad); err == nil {
+		t.Error("ClassifyLeavesChecked accepted a narrower schema")
+	}
+	// A dataset whose declared schema matches but whose rows are ragged
+	// must be a diagnostic, not an out-of-range panic.
+	ragged := dataset.New(twoAttrSchema())
+	ragged.Samples = append(ragged.Samples, dataset.Sample{X: []float64{0.5}, Y: 1})
+	if _, err := ctree.PredictDatasetChecked(ragged); !errors.Is(err, ErrSampleWidth) {
+		t.Errorf("PredictDatasetChecked ragged: err = %v, want ErrSampleWidth", err)
+	}
+}
+
+func TestCompileRejectsMalformedTrees(t *testing.T) {
+	if _, err := (&Tree{}).Compile(); err == nil {
+		t.Error("Compile accepted a tree without schema or root")
+	}
+	tree := &Tree{Schema: twoAttrSchema(), Root: &Node{}}
+	if _, err := tree.Compile(); err == nil {
+		t.Error("Compile accepted a leaf without a model")
+	}
+}
+
+// TestEvaluateSplitsParallelDeterministic pins the satellite contract of
+// the pooled split scan: the per-attribute ranking is identical at every
+// worker count.
+func TestEvaluateSplitsParallelDeterministic(t *testing.T) {
+	d := piecewiseDataset(2500, 41, 0.3)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	serial := EvaluateSplits(d, opts)
+	for _, workers := range []int{0, 2, 8} {
+		opts.Workers = workers
+		got := EvaluateSplits(d, opts)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d candidates, serial %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d candidate %d: %+v, serial %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

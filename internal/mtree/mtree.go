@@ -560,6 +560,25 @@ func (t *Tree) ClassifyChecked(x []float64) (*Node, error) {
 	return t.Classify(x), nil
 }
 
+// ClassifyLeavesChecked validates the dataset against the tree's schema
+// and returns the 1-based LeafID of every sample — the interpreted
+// counterpart of CompiledTree.ClassifyLeavesChecked, kept for parity so
+// characterization can run on either form.
+func (t *Tree) ClassifyLeavesChecked(d *dataset.Dataset) ([]int, error) {
+	if err := t.checkWidth(d.Schema.NumAttrs()); err != nil {
+		return nil, err
+	}
+	out := make([]int, d.Len())
+	for i := range d.Samples {
+		if len(d.Samples[i].X) != t.Schema.NumAttrs() {
+			return nil, fmt.Errorf("%w: sample %d has %d attributes, schema has %d",
+				ErrSampleWidth, i, len(d.Samples[i].X), t.Schema.NumAttrs())
+		}
+		out[i] = t.Classify(d.Samples[i].X).LeafID
+	}
+	return out, nil
+}
+
 // Predict returns the tree's prediction for the sample vector, applying
 // M5 smoothing along the root path when enabled. The vector must match
 // the tree's schema width; see PredictChecked for the validating entry
@@ -820,11 +839,4 @@ func quickSortIdx(s []int, less func(a, b int) bool) {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package mtree
 
 import (
 	"sort"
+	"sync"
 
 	"specchar/internal/dataset"
 )
@@ -21,7 +22,11 @@ type SplitCandidate struct {
 
 // EvaluateSplits computes the best split per attribute over the whole
 // dataset, returned in descending SDR order. MinLeaf from opts constrains
-// the candidate thresholds exactly as during tree induction.
+// the candidate thresholds exactly as during tree induction, and the
+// per-attribute scans fan out across the bounded worker pool configured
+// by opts.Workers, like bestSplit does during induction. Results are
+// written per attribute and stably sorted afterwards, so every worker
+// count produces the identical ranking.
 func EvaluateSplits(d *dataset.Dataset, opts Options) []SplitCandidate {
 	if d.Len() == 0 {
 		return nil
@@ -31,11 +36,29 @@ func EvaluateSplits(d *dataset.Dataset, opts Options) []SplitCandidate {
 	}
 	b := &builder{xs: d.Xs(), ys: d.Ys(), ord: indicesUpTo(d.Len()), opts: opts}
 	out := make([]SplitCandidate, d.Schema.NumAttrs())
-	for a := range out {
+	scan := func(a int) {
 		thr, sdr, ok := b.bestSplitForAttr(0, d.Len(), a)
 		out[a] = SplitCandidate{Attr: a, Threshold: thr, SDR: sdr, Valid: ok}
 		if a < len(d.Schema.Attributes) {
 			out[a].Name = d.Schema.Attributes[a]
+		}
+	}
+	if workers := effectiveWorkers(opts.Workers); workers > 1 && len(out) > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for a := range out {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(a int) {
+				defer wg.Done()
+				scan(a)
+				<-sem
+			}(a)
+		}
+		wg.Wait()
+	} else {
+		for a := range out {
+			scan(a)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].SDR > out[j].SDR })

@@ -1,0 +1,61 @@
+// Package profiling wires runtime/pprof into the CLIs: a CPU profile
+// spanning the run and a heap profile written at shutdown, each gated on
+// a flag-supplied output path. It exists so both cmd/mtree and
+// cmd/specchar expose identical -cpuprofile/-memprofile behaviour without
+// duplicating the start/stop choreography.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two paths; either (or both) may
+// be empty to disable that profile. It returns a stop function that ends
+// CPU profiling and writes the heap profile — call it exactly once, on
+// every exit path (defer is the natural shape). Start itself cleans up if
+// the second profile fails to initialize after the first succeeded.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	stop = func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("profiling: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("profiling: creating heap profile: %w", err)
+				}
+				return firstErr
+			}
+			// Up-to-date allocation statistics, as the pprof docs advise
+			// before a heap snapshot.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: closing heap profile: %w", err)
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}

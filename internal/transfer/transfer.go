@@ -76,10 +76,19 @@ type Options struct {
 	Thresholds metrics.Thresholds // zero value means metrics.PaperThresholds()
 }
 
+// Predictor is the model-side dependency of an assessment: a trained
+// model that can score a dataset with input validation. Both the pointer
+// form (*mtree.Tree) and the compiled batch form (*mtree.CompiledTree)
+// satisfy it; assessments are prediction-heavy, so callers holding a
+// trained tree should compile it once and pass the compiled form.
+type Predictor interface {
+	PredictDatasetChecked(d *dataset.Dataset) ([]float64, error)
+}
+
 // Assess applies the model to the test set and runs the full battery.
 // train must be the dataset the model was trained on (its response sample
 // is the L1 of Section VI); test is L2.
-func Assess(model *mtree.Tree, train, test *dataset.Dataset, trainName, testName string, opts Options) (*Assessment, error) {
+func Assess(model Predictor, train, test *dataset.Dataset, trainName, testName string, opts Options) (*Assessment, error) {
 	if train.Len() < 2 || test.Len() < 2 {
 		return nil, errors.New("transfer: need at least two samples on each side")
 	}
@@ -216,7 +225,13 @@ func Sweep(d *dataset.Dataset, fractions []float64, treeOpts mtree.Options, seed
 		if err != nil {
 			return nil, err
 		}
-		pred, err := tree.PredictDatasetChecked(test)
+		// Each fraction's tree scores the (large) held-out remainder once:
+		// compile it and run the batch scorer.
+		ctree, err := tree.Compile()
+		if err != nil {
+			return nil, err
+		}
+		pred, err := ctree.PredictDatasetChecked(test)
 		if err != nil {
 			return nil, err
 		}

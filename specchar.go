@@ -83,6 +83,15 @@ type Study struct {
 	OMPTrain, OMPTest *dataset.Dataset
 	CPUModel          *mtree.Tree // trained on CPUTrain
 	OMPModel          *mtree.Tree // trained on OMPTrain
+
+	// Compiled (flat-array, smoothing pre-composed) forms of the four
+	// trees above, built once here. Every batch consumer — assessment,
+	// characterization, sweeps — scores through these; the pointer trees
+	// remain the rendering/serialization representation.
+	CPUTreeCompiled  *mtree.CompiledTree
+	OMPTreeCompiled  *mtree.CompiledTree
+	CPUModelCompiled *mtree.CompiledTree
+	OMPModelCompiled *mtree.CompiledTree
 }
 
 // NewStudy generates both suites and trains all four trees. This is the
@@ -115,6 +124,18 @@ func NewStudy(cfg Config) (*Study, error) {
 	if s.OMPModel, err = mtree.Build(s.OMPTrain, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building OMP2001 transfer model: %w", err)
 	}
+	if s.CPUTreeCompiled, err = s.CPUTree.Compile(); err != nil {
+		return nil, fmt.Errorf("specchar: compiling CPU2006 tree: %w", err)
+	}
+	if s.OMPTreeCompiled, err = s.OMPTree.Compile(); err != nil {
+		return nil, fmt.Errorf("specchar: compiling OMP2001 tree: %w", err)
+	}
+	if s.CPUModelCompiled, err = s.CPUModel.Compile(); err != nil {
+		return nil, fmt.Errorf("specchar: compiling CPU2006 transfer model: %w", err)
+	}
+	if s.OMPModelCompiled, err = s.OMPModel.Compile(); err != nil {
+		return nil, fmt.Errorf("specchar: compiling OMP2001 transfer model: %w", err)
+	}
 	return s, nil
 }
 
@@ -136,13 +157,13 @@ func (s *Study) CoreConfig() uarch.Config {
 func (s *Study) AssessTransfer(direction string) (*transfer.Assessment, error) {
 	switch direction {
 	case "cpu->cpu":
-		return transfer.Assess(s.CPUModel, s.CPUTrain, s.CPUTest, "SPEC CPU2006 (10%)", "SPEC CPU2006 (held out)", transfer.Options{})
+		return transfer.Assess(s.CPUModelCompiled, s.CPUTrain, s.CPUTest, "SPEC CPU2006 (10%)", "SPEC CPU2006 (held out)", transfer.Options{})
 	case "cpu->omp":
-		return transfer.Assess(s.CPUModel, s.CPUTrain, s.OMPTrain, "SPEC CPU2006 (10%)", "SPEC OMP2001", transfer.Options{})
+		return transfer.Assess(s.CPUModelCompiled, s.CPUTrain, s.OMPTrain, "SPEC CPU2006 (10%)", "SPEC OMP2001", transfer.Options{})
 	case "omp->omp":
-		return transfer.Assess(s.OMPModel, s.OMPTrain, s.OMPTest, "SPEC OMP2001 (10%)", "SPEC OMP2001 (held out)", transfer.Options{})
+		return transfer.Assess(s.OMPModelCompiled, s.OMPTrain, s.OMPTest, "SPEC OMP2001 (10%)", "SPEC OMP2001 (held out)", transfer.Options{})
 	case "omp->cpu":
-		return transfer.Assess(s.OMPModel, s.OMPTrain, s.CPUTrain, "SPEC OMP2001 (10%)", "SPEC CPU2006", transfer.Options{})
+		return transfer.Assess(s.OMPModelCompiled, s.OMPTrain, s.CPUTrain, "SPEC OMP2001 (10%)", "SPEC CPU2006", transfer.Options{})
 	}
 	return nil, fmt.Errorf("specchar: unknown transfer direction %q", direction)
 }

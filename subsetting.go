@@ -49,14 +49,14 @@ type SubsetResult struct {
 // (2..maxK where maxK is a third of the suite size).
 func (s *Study) SelectSubset(suiteName string, k int) (*SubsetResult, error) {
 	var d *dataset.Dataset
-	var tree = s.CPUTree
+	var tree = s.CPUTreeCompiled
 	switch suiteName {
 	case "cpu2006":
 		d = s.CPU
-		tree = s.CPUTree
+		tree = s.CPUTreeCompiled
 	case "omp2001":
 		d = s.OMP
-		tree = s.OMPTree
+		tree = s.OMPTreeCompiled
 	default:
 		return nil, fmt.Errorf("specchar: unknown suite %q", suiteName)
 	}
