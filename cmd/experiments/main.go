@@ -7,19 +7,34 @@
 //
 // With no flags it runs the full battery at paper scale (tens of seconds)
 // and prints to stdout.
+//
+// SIGINT/SIGTERM cancel the run cooperatively: the in-flight stage stops
+// at its next chunk boundary, every experiment that already completed is
+// flushed (the -o file is committed atomically with the finished
+// sections), and the process exits with code 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"specchar"
+	"specchar/internal/robust"
 )
+
+// exitInterrupted is the exit code for a run stopped by SIGINT/SIGTERM,
+// following the shell convention of 128 + signal number (SIGINT = 2).
+const exitInterrupted = 130
 
 func main() {
 	log.SetFlags(0)
@@ -46,28 +61,49 @@ func main() {
 		ids = strings.Split(*expFlag, ",")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The report streams into a staged temp file; it is renamed into place
+	// on success — or on interruption, carrying only the experiments that
+	// finished (each section is written whole after its experiment
+	// completes, so the committed file never holds a torn table).
 	var out io.Writer = os.Stdout
+	var pending *robust.PendingFile
 	if *outFlag != "" {
-		f, err := os.Create(*outFlag)
+		p, err := robust.CreateAtomic(*outFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		out = f
+		defer p.Abort()
+		pending = p
+		out = p
+	}
+	finish := func(err error) {
+		if err == nil {
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			if pending != nil {
+				if cerr := pending.Commit(); cerr != nil {
+					log.Print(cerr)
+				}
+			}
+			log.Print("interrupted; completed experiments flushed")
+			os.Exit(exitInterrupted)
+		}
+		log.Fatal(err)
 	}
 
 	start := time.Now()
-	study, err := specchar.NewStudy(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	study, err := specchar.RunContext(ctx, cfg)
+	finish(err)
 	fmt.Fprintf(out, "specchar experiment run (%d CPU2006 samples, %d OMP2001 samples; setup %.1fs)\n\n",
 		study.CPU.Len(), study.OMP.Len(), time.Since(start).Seconds())
 	for _, id := range ids {
+		finish(ctx.Err())
 		report, err := study.Run(strings.TrimSpace(id))
-		if err != nil {
-			log.Fatal(err)
-		}
+		finish(err)
 		fmt.Fprintf(out, "==================== %s ====================\n\n%s\n", id, report)
 	}
 	if *dotDir != "" {
@@ -78,11 +114,16 @@ func main() {
 			"figure1.dot": study.CPUTree.RenderDot("Figure 1: SPEC CPU2006 model tree"),
 			"figure2.dot": study.OMPTree.RenderDot("Figure 2: SPEC OMP2001 model tree"),
 		} {
-			path := *dotDir + "/" + name
-			if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+			path := filepath.Join(*dotDir, name)
+			if err := robust.WriteFileAtomic(path, []byte(dot), 0o644); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+	if pending != nil {
+		if err := pending.Commit(); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

@@ -14,17 +14,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"specchar/internal/dataset"
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
 	"specchar/internal/profiling"
+	"specchar/internal/robust"
 )
+
+// exitInterrupted is the exit code for a run stopped by SIGINT/SIGTERM,
+// following the shell convention of 128 + signal number (SIGINT = 2).
+const exitInterrupted = 130
 
 func main() {
 	log.SetFlags(0)
@@ -56,6 +65,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// First SIGINT/SIGTERM cancels the context; induction and scoring
+	// unwind at the next chunk boundary and staged files are discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// log.Fatal would skip the profile flush, so the body runs in a
 	// closure and every failure funnels through one exit path.
 	run := func() error {
@@ -86,25 +99,30 @@ func main() {
 				return err
 			}
 			tree, err = mtree.ReadJSON(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return err
 			}
 			opts = tree.Opts
 		} else {
-			if tree, err = mtree.Build(train, opts); err != nil {
+			if tree, err = mtree.BuildContext(ctx, train, opts); err != nil {
 				return err
 			}
 		}
 		if *saveFlag != "" {
-			f, err := os.Create(*saveFlag)
+			// Staged write: the saved model only appears once fully
+			// serialized and synced; a failed run leaves no torn file.
+			p, err := robust.CreateAtomic(*saveFlag)
 			if err != nil {
 				return err
 			}
-			if err := tree.WriteJSON(f); err != nil {
+			if err := tree.WriteJSON(p); err != nil {
+				p.Abort()
 				return err
 			}
-			if err := f.Close(); err != nil {
+			if err := p.Commit(); err != nil {
 				return err
 			}
 		}
@@ -117,7 +135,11 @@ func main() {
 		if *splitsFlag {
 			fmt.Println()
 			fmt.Println("per-attribute SDR ranking over the training set:")
-			for i, c := range mtree.EvaluateSplits(train, opts) {
+			cands, err := mtree.EvaluateSplitsContext(ctx, train, opts)
+			if err != nil {
+				return err
+			}
+			for i, c := range cands {
 				if !c.Valid {
 					continue
 				}
@@ -133,7 +155,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			pred, err := ctree.PredictDatasetChecked(test)
+			pred, err := ctree.PredictDatasetCheckedContext(ctx, test)
 			if err != nil {
 				return err
 			}
@@ -145,7 +167,7 @@ func main() {
 		}
 
 		if *cvFlag > 1 {
-			cv, err := mtree.CrossValidate(train, *cvFlag, opts, *seedFlag)
+			cv, err := mtree.CrossValidateContext(ctx, train, *cvFlag, opts, *seedFlag)
 			if err != nil {
 				return err
 			}
@@ -153,7 +175,7 @@ func main() {
 		}
 
 		if *dotFlag != "" {
-			if err := os.WriteFile(*dotFlag, []byte(tree.RenderDot("M5' model tree")), 0o644); err != nil {
+			if err := robust.WriteFileAtomic(*dotFlag, []byte(tree.RenderDot("M5' model tree")), 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("\nwrote Graphviz tree to %s (render with: dot -Tsvg %s -o tree.svg)\n", *dotFlag, *dotFlag)
@@ -166,6 +188,10 @@ func main() {
 		err = perr
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Print("interrupted; staged outputs discarded, completed outputs kept")
+			os.Exit(exitInterrupted)
+		}
 		log.Fatal(err)
 	}
 }
@@ -177,9 +203,14 @@ func readDataset(path string) (*dataset.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	var d *dataset.Dataset
 	if strings.HasSuffix(strings.ToLower(path), ".arff") {
-		return dataset.ReadARFF(f)
+		d, err = dataset.ReadARFF(f)
+	} else {
+		d, err = dataset.ReadCSV(f)
 	}
-	return dataset.ReadCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return d, err
 }

@@ -16,10 +16,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"specchar"
 	"specchar/internal/characterize"
@@ -27,9 +32,14 @@ import (
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
 	"specchar/internal/profiling"
+	"specchar/internal/robust"
 	"specchar/internal/suites"
 	"specchar/internal/tables"
 )
+
+// exitInterrupted is the exit code for a run stopped by SIGINT/SIGTERM,
+// following the shell convention of 128 + signal number (SIGINT = 2).
+const exitInterrupted = 130
 
 func main() {
 	log.SetFlags(0)
@@ -47,29 +57,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// First SIGINT/SIGTERM cancels the context; the pipeline unwinds at
+	// the next chunk boundary, staged output files are discarded, and the
+	// run exits with the interrupted code. A second signal kills the
+	// process the default way (stop() restores default disposition once
+	// the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch cmd {
 	case "events":
 		fmt.Print(specchar.Table1())
 	case "datagen":
-		err = runDatagen(args)
+		err = runDatagen(ctx, args)
 	case "tree":
-		err = runTree(args)
+		err = runTree(ctx, args)
 	case "characterize":
-		err = runCharacterize(args)
+		err = runCharacterize(ctx, args)
 	case "transfer":
-		err = runTransfer(args)
+		err = runTransfer(ctx, args)
 	case "subset":
-		err = runSubset(args)
+		err = runSubset(ctx, args)
 	case "compare":
-		err = runCompare(args)
+		err = runCompare(ctx, args)
 	case "bench":
-		err = runBench(args)
+		err = runBench(ctx, args)
 	case "importance":
-		err = runStudyReport(args, func(st *specchar.Study) (string, error) { return st.ImportanceReport(3) })
+		err = runStudyReport(ctx, args, func(st *specchar.Study) (string, error) { return st.ImportanceReport(3) })
 	case "phases":
-		err = runStudyReport(args, (*specchar.Study).PhaseReport)
+		err = runStudyReport(ctx, args, (*specchar.Study).PhaseReport)
 	case "cpistack":
-		err = runStudyReport(args, (*specchar.Study).CPIStackReport)
+		err = runStudyReport(ctx, args, (*specchar.Study).CPIStackReport)
 	default:
 		usage()
 	}
@@ -77,6 +94,10 @@ func main() {
 		err = perr
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Print("interrupted; staged outputs discarded, completed outputs kept")
+			os.Exit(exitInterrupted)
+		}
 		log.Fatal(err)
 	}
 }
@@ -125,7 +146,7 @@ func genOptions(quick bool, seed uint64) suites.GenOptions {
 	return opts
 }
 
-func runDatagen(args []string) error {
+func runDatagen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
 	suiteFlag := fs.String("suite", "cpu2006", "suite to generate (cpu2006|omp2001)")
 	outFlag := fs.String("o", "", "output file (default stdout)")
@@ -139,7 +160,7 @@ func runDatagen(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := suites.Generate(s, genOptions(*quickFlag, *seedFlag))
+	d, err := suites.GenerateContext(ctx, s, genOptions(*quickFlag, *seedFlag))
 	if err != nil {
 		return err
 	}
@@ -158,25 +179,32 @@ func runDatagen(args []string) error {
 		fmt.Fprintf(os.Stderr, "%s: %d samples, %s mean %.4f sd %.4f\n\n%s\n",
 			s.Name, d.Len(), d.Schema.Response, resp.Mean, resp.StdDev, t)
 	}
-	out := os.Stdout
-	if *outFlag != "" {
-		f, err := os.Create(*outFlag)
-		if err != nil {
-			return err
+	write := func(w io.Writer) error {
+		switch *formatFlag {
+		case "csv":
+			return d.WriteCSV(w)
+		case "arff":
+			return d.WriteARFF(w, s.Name)
 		}
-		defer f.Close()
-		out = f
+		return fmt.Errorf("unknown format %q", *formatFlag)
 	}
-	switch *formatFlag {
-	case "csv":
-		return d.WriteCSV(out)
-	case "arff":
-		return d.WriteARFF(out, s.Name)
+	if *outFlag == "" {
+		return write(os.Stdout)
 	}
-	return fmt.Errorf("unknown format %q", *formatFlag)
+	// Stage the file and rename it into place only once fully written: an
+	// interrupted or failed run leaves no torn dataset behind.
+	p, err := robust.CreateAtomic(*outFlag)
+	if err != nil {
+		return err
+	}
+	defer p.Abort()
+	if err := write(p); err != nil {
+		return err
+	}
+	return p.Commit()
 }
 
-func runTree(args []string) error {
+func runTree(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ExitOnError)
 	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2006|omp2001)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
@@ -190,7 +218,7 @@ func runTree(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := suites.Generate(s, genOptions(*quickFlag, *seedFlag))
+	d, err := suites.GenerateContext(ctx, s, genOptions(*quickFlag, *seedFlag))
 	if err != nil {
 		return err
 	}
@@ -204,7 +232,7 @@ func runTree(args []string) error {
 	opts := mtree.DefaultOptions()
 	opts.MinLeaf = *minLeaf
 	opts.Workers = *workersFlag
-	tree, err := mtree.Build(train, opts)
+	tree, err := mtree.BuildContext(ctx, train, opts)
 	if err != nil {
 		return err
 	}
@@ -219,7 +247,7 @@ func runTree(args []string) error {
 		if err != nil {
 			return err
 		}
-		pred, err := ctree.PredictDatasetChecked(test)
+		pred, err := ctree.PredictDatasetCheckedContext(ctx, test)
 		if err != nil {
 			return err
 		}
@@ -232,7 +260,7 @@ func runTree(args []string) error {
 	return nil
 }
 
-func runCharacterize(args []string) error {
+func runCharacterize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	suiteFlag := fs.String("suite", "cpu2006", "suite to characterize (cpu2006|omp2001)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
@@ -243,7 +271,7 @@ func runCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := suites.Generate(s, genOptions(*quickFlag, 0))
+	d, err := suites.GenerateContext(ctx, s, genOptions(*quickFlag, 0))
 	if err != nil {
 		return err
 	}
@@ -252,7 +280,7 @@ func runCharacterize(args []string) error {
 	if *quickFlag {
 		opts.MinLeaf = 10
 	}
-	tree, err := mtree.Build(d, opts)
+	tree, err := mtree.BuildContext(ctx, d, opts)
 	if err != nil {
 		return err
 	}
@@ -260,7 +288,7 @@ func runCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
-	profiles, err := characterize.SuiteProfiles(ctree, d)
+	profiles, err := characterize.SuiteProfilesContext(ctx, ctree, d)
 	if err != nil {
 		return err
 	}
@@ -279,7 +307,7 @@ func runCharacterize(args []string) error {
 	return nil
 }
 
-func runTransfer(args []string) error {
+func runTransfer(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("transfer", flag.ExitOnError)
 	quickFlag := fs.Bool("quick", false, "reduced-scale run")
 	fs.Parse(args)
@@ -288,12 +316,14 @@ func runTransfer(args []string) error {
 	if *quickFlag {
 		cfg = specchar.QuickConfig()
 	}
-	study, err := specchar.NewStudy(cfg)
+	study, err := specchar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
+	// Assessments print as they complete, so an interrupt mid-battery
+	// still leaves every finished assessment on screen.
 	for _, dir := range specchar.Directions() {
-		a, err := study.AssessTransfer(dir)
+		a, err := study.AssessTransferContext(ctx, dir)
 		if err != nil {
 			return err
 		}
@@ -302,7 +332,7 @@ func runTransfer(args []string) error {
 	return nil
 }
 
-func runSubset(args []string) error {
+func runSubset(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("subset", flag.ExitOnError)
 	suiteFlag := fs.String("suite", "cpu2006", "suite to subset (cpu2006|omp2001)")
 	kFlag := fs.Int("k", 0, "number of representatives (0 = silhouette-selected)")
@@ -313,7 +343,7 @@ func runSubset(args []string) error {
 	if *quickFlag {
 		cfg = specchar.QuickConfig()
 	}
-	study, err := specchar.NewStudy(cfg)
+	study, err := specchar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -325,7 +355,7 @@ func runSubset(args []string) error {
 	return nil
 }
 
-func runCompare(args []string) error {
+func runCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	quickFlag := fs.Bool("quick", false, "reduced-scale run")
 	fs.Parse(args)
@@ -334,7 +364,7 @@ func runCompare(args []string) error {
 	if *quickFlag {
 		cfg = specchar.QuickConfig()
 	}
-	study, err := specchar.NewStudy(cfg)
+	study, err := specchar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -346,7 +376,7 @@ func runCompare(args []string) error {
 	return nil
 }
 
-func runBench(args []string) error {
+func runBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	suiteFlag := fs.String("suite", "cpu2006", "suite (cpu2006|omp2001)")
 	nameFlag := fs.String("name", "", "benchmark name, e.g. 429.mcf (empty = all)")
@@ -357,7 +387,7 @@ func runBench(args []string) error {
 	if *quickFlag {
 		cfg = specchar.QuickConfig()
 	}
-	study, err := specchar.NewStudy(cfg)
+	study, err := specchar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -381,7 +411,7 @@ func runBench(args []string) error {
 
 // runStudyReport builds a study at the requested scale and prints one
 // report function's output.
-func runStudyReport(args []string, report func(*specchar.Study) (string, error)) error {
+func runStudyReport(ctx context.Context, args []string, report func(*specchar.Study) (string, error)) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	quickFlag := fs.Bool("quick", false, "reduced-scale run")
 	fs.Parse(args)
@@ -389,7 +419,7 @@ func runStudyReport(args []string, report func(*specchar.Study) (string, error))
 	if *quickFlag {
 		cfg = specchar.QuickConfig()
 	}
-	study, err := specchar.NewStudy(cfg)
+	study, err := specchar.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

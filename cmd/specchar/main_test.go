@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"specchar/internal/dataset"
+)
+
+// A real SIGINT mid-datagen must leave either no output file at all or a
+// complete, parseable one — never a torn partial, and never a leftover
+// staged temp file. This is the CLI's graceful-shutdown contract end to
+// end: signal -> context cancel -> pipeline unwind -> staged file
+// discarded (or committed whole if the run won the race).
+func TestSIGINTLeavesOnlyCompleteOutputs(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "suite.csv")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		syscall.Kill(os.Getpid(), syscall.SIGINT)
+	}()
+	err := runDatagen(ctx, []string{"-suite", "omp2001", "-quick", "-o", out})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled or nil", err)
+	}
+	if err == nil {
+		t.Log("generation outran the signal; verifying the completed file")
+	}
+	if f, ferr := os.Open(out); ferr == nil {
+		d, perr := dataset.ReadCSV(f)
+		f.Close()
+		if perr != nil {
+			t.Fatalf("committed output does not parse: %v", perr)
+		}
+		if d.Len() == 0 {
+			t.Error("committed output is empty")
+		}
+	} else if err == nil {
+		t.Fatalf("run succeeded but output file missing: %v", ferr)
+	} else if !os.IsNotExist(ferr) {
+		t.Fatalf("unexpected stat error: %v", ferr)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover staged temp file %q", e.Name())
+		}
+	}
+}
+
+// A canceled context must abort the staged write before any file exists.
+func TestDatagenPreCanceledWritesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "suite.csv")
+	err := runDatagen(ctx, []string{"-suite", "omp2001", "-quick", "-o", out})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, serr := os.Stat(out); !os.IsNotExist(serr) {
+		t.Errorf("output file exists after pre-canceled run (stat err %v)", serr)
+	}
+}

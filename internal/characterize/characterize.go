@@ -7,6 +7,7 @@
 package characterize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,6 +27,14 @@ type Classifier interface {
 	// ClassifyLeavesChecked returns the 1-based LeafID of every sample,
 	// or an error when the dataset does not match the model's schema.
 	ClassifyLeavesChecked(d *dataset.Dataset) ([]int, error)
+}
+
+// ContextClassifier is the cancellable refinement of Classifier
+// (satisfied by *mtree.CompiledTree); ProfileOfContext uses it when
+// available so a canceled context stops classification at a chunk
+// boundary rather than after the whole suite is classified.
+type ContextClassifier interface {
+	ClassifyLeavesCheckedContext(ctx context.Context, d *dataset.Dataset) ([]int, error)
 }
 
 // Profile is the distribution of one benchmark's samples over the leaf
@@ -62,10 +71,27 @@ var ErrEmpty = errors.New("characterize: no samples to profile")
 // ProfileOf classifies every sample of d through the model and returns
 // the leaf distribution.
 func ProfileOf(model Classifier, d *dataset.Dataset, name string) (Profile, error) {
+	return ProfileOfContext(context.Background(), model, d, name)
+}
+
+// ProfileOfContext is ProfileOf with cooperative cancellation: the
+// classification pass observes the context when the model supports it
+// (ContextClassifier), and a canceled context is returned as a wrapped
+// ctx.Err().
+func ProfileOfContext(ctx context.Context, model Classifier, d *dataset.Dataset, name string) (Profile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d.Len() == 0 {
 		return Profile{}, ErrEmpty
 	}
-	leafIDs, err := model.ClassifyLeavesChecked(d)
+	var leafIDs []int
+	var err error
+	if cc, ok := model.(ContextClassifier); ok {
+		leafIDs, err = cc.ClassifyLeavesCheckedContext(ctx, d)
+	} else {
+		leafIDs, err = model.ClassifyLeavesChecked(d)
+	}
 	if err != nil {
 		return Profile{}, fmt.Errorf("characterize: %s: %w", name, err)
 	}
@@ -87,19 +113,32 @@ func ProfileOf(model Classifier, d *dataset.Dataset, name string) (Profile, erro
 // instruction-count weighted) and "Average" (unweighted mean of the
 // per-benchmark profiles).
 func SuiteProfiles(model Classifier, d *dataset.Dataset) ([]Profile, error) {
+	return SuiteProfilesContext(context.Background(), model, d)
+}
+
+// SuiteProfilesContext is SuiteProfiles with cooperative cancellation:
+// the context is checked between benchmark profiles and propagated into
+// each classification pass.
+func SuiteProfilesContext(ctx context.Context, model Classifier, d *dataset.Dataset) ([]Profile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	labels := d.Labels()
 	if len(labels) == 0 {
 		return nil, ErrEmpty
 	}
 	out := make([]Profile, 0, len(labels)+2)
 	for _, label := range labels {
-		p, err := ProfileOf(model, d.FilterLabel(label), label)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("characterize: profiling canceled: %w", err)
+		}
+		p, err := ProfileOfContext(ctx, model, d.FilterLabel(label), label)
 		if err != nil {
 			return nil, fmt.Errorf("characterize: %s: %w", label, err)
 		}
 		out = append(out, p)
 	}
-	suite, err := ProfileOf(model, d, "Suite")
+	suite, err := ProfileOfContext(ctx, model, d, "Suite")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,60 @@
+//go:build faultinject
+
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"specchar/internal/faultinject"
+)
+
+const cleanCSV = "label,A,CPI\na,1,2\nb,3,4\nc,5,6\n"
+
+// An injected mid-stream reader failure must surface as a read error, not
+// a truncated-but-successful dataset.
+func TestInjectedReaderFailure(t *testing.T) {
+	defer faultinject.Deactivate()
+	want := errors.New("injected disk failure")
+	faultinject.Activate(1, faultinject.Fault{Site: "dataset.ReadCSV.reader", OnCall: 2, Err: want})
+	_, err := ReadCSV(strings.NewReader(cleanCSV))
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}
+
+// An injected NaN corruption on a parsed row is caught by Append's
+// finiteness validation: fail-fast rejects the file, quarantine drops
+// exactly the corrupted row and keeps the rest.
+func TestInjectedRowCorruption(t *testing.T) {
+	defer faultinject.Deactivate()
+	faultinject.Activate(1, faultinject.Fault{Site: "dataset.ReadCSV.row", OnCall: 2, CorruptNaN: true})
+	if _, err := ReadCSV(strings.NewReader(cleanCSV)); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("fail-fast err = %v, want ErrNonFinite", err)
+	}
+
+	faultinject.Deactivate()
+	faultinject.Activate(1, faultinject.Fault{Site: "dataset.ReadCSV.row", OnCall: 2, CorruptNaN: true})
+	d, rep, err := ReadCSVWith(strings.NewReader(cleanCSV), ReadOptions{Policy: Quarantine})
+	if err != nil {
+		t.Fatalf("quarantine read: %v", err)
+	}
+	if d.Len() != 2 || rep.Total != 1 || rep.Accepted != 2 {
+		t.Fatalf("d.Len()=%d report=%+v, want 2 survivors / 1 quarantined", d.Len(), rep)
+	}
+}
+
+// The ARFF sites behave identically.
+func TestInjectedARFFCorruption(t *testing.T) {
+	defer faultinject.Deactivate()
+	in := "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\na,1,2\nb,3,4\n"
+	faultinject.Activate(1, faultinject.Fault{Site: "dataset.ReadARFF.row", OnCall: 1, CorruptInf: true, Y: true})
+	d, rep, err := ReadARFFWith(strings.NewReader(in), ReadOptions{Policy: Quarantine})
+	if err != nil {
+		t.Fatalf("quarantine read: %v", err)
+	}
+	if d.Len() != 1 || rep.Total != 1 {
+		t.Fatalf("d.Len()=%d report=%+v, want 1 survivor / 1 quarantined", d.Len(), rep)
+	}
+}

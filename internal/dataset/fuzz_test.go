@@ -15,10 +15,23 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("label,CPI\n")
 	f.Add("label,A,CPI\nbench,not-a-number,1\n")
 	f.Add("label,A,CPI\n\"quoted,name\",1,2\n")
+	f.Add("label,A,CPI\nbench,NaN,1\nbench,1,+Inf\n")
+	f.Add("label,A,CPI\nbench,1")      // truncated mid-row
+	f.Add("label,A,B,CPI\nx,1,2\ny,1") // mis-columned rows
 	f.Fuzz(func(t *testing.T, input string) {
+		// The quarantine policy must never panic either, and must agree
+		// with fail-fast on clean input.
+		qd, qrep, qerr := ReadCSVWith(strings.NewReader(input), ReadOptions{Policy: Quarantine})
 		d, err := ReadCSV(strings.NewReader(input))
 		if err != nil {
 			return // rejection is fine; panics are not
+		}
+		if qerr != nil {
+			t.Fatalf("fail-fast accepted input the quarantine policy rejected: %v", qerr)
+		}
+		if qrep.Total != 0 || qd.Len() != d.Len() {
+			t.Fatalf("policies disagree on clean input: quarantined %d, len %d vs %d",
+				qrep.Total, qd.Len(), d.Len())
 		}
 		var buf bytes.Buffer
 		if err := d.WriteCSV(&buf); err != nil {
@@ -41,10 +54,22 @@ func FuzzReadARFF(f *testing.F) {
 	f.Add("% comment\n@relation x\n@attribute label string\n@attribute a numeric\n@attribute y numeric\n@data\n'q b',0,0\n")
 	f.Add("@DATA\n")
 	f.Add("")
+	f.Add("@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUM") // truncated header
+	f.Add("@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nb,NaN,2\nb,1,Inf\n")
+	f.Add("@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nb,1\nb,1,2,3\n") // mis-columned rows
+	f.Add("@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\nb,1,2")          // truncated last row
 	f.Fuzz(func(t *testing.T, input string) {
+		qd, qrep, qerr := ReadARFFWith(strings.NewReader(input), ReadOptions{Policy: Quarantine})
 		d, err := ReadARFF(strings.NewReader(input))
 		if err != nil {
 			return
+		}
+		if qerr != nil {
+			t.Fatalf("fail-fast accepted input the quarantine policy rejected: %v", qerr)
+		}
+		if qrep.Total != 0 || qd.Len() != d.Len() {
+			t.Fatalf("policies disagree on clean input: quarantined %d, len %d vs %d",
+				qrep.Total, qd.Len(), d.Len())
 		}
 		var buf bytes.Buffer
 		if err := d.WriteARFF(&buf, "fuzz"); err != nil {

@@ -3,11 +3,71 @@ package dataset
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"specchar/internal/faultinject"
 )
+
+// BadRowPolicy selects how the dataset readers treat rows that fail to
+// parse or validate (malformed numbers, wrong field counts, non-finite
+// values). Structural problems — a bad header, an unreadable stream — are
+// always fatal regardless of policy.
+type BadRowPolicy int
+
+const (
+	// FailFast aborts the read on the first bad row. This is the
+	// behaviour of ReadCSV and ReadARFF.
+	FailFast BadRowPolicy = iota
+	// Quarantine sets bad rows aside and keeps reading: the read
+	// succeeds with the surviving rows plus a report of what was
+	// dropped and why.
+	Quarantine
+)
+
+// ReadOptions configures ReadCSVWith and ReadARFFWith.
+type ReadOptions struct {
+	Policy BadRowPolicy
+	Source string // name used in the quarantine report, e.g. a file path
+}
+
+// maxQuarantineDetail bounds the per-row detail retained in a report;
+// Total keeps counting past it so the caller still sees the full damage.
+const maxQuarantineDetail = 64
+
+// QuarantinedRow records one dropped row.
+type QuarantinedRow struct {
+	Line   int    // 1-based line number in the source
+	Reason string // why the row was rejected
+}
+
+// QuarantineReport summarizes the rows a quarantining read dropped from
+// one source.
+type QuarantineReport struct {
+	Source   string
+	Accepted int              // rows that made it into the dataset
+	Total    int              // rows quarantined
+	Rows     []QuarantinedRow // detail for the first maxQuarantineDetail drops
+}
+
+func (r *QuarantineReport) add(line int, reason string) {
+	r.Total++
+	if len(r.Rows) < maxQuarantineDetail {
+		r.Rows = append(r.Rows, QuarantinedRow{Line: line, Reason: reason})
+	}
+}
+
+// String renders a one-line summary suitable for logs.
+func (r *QuarantineReport) String() string {
+	src := r.Source
+	if src == "" {
+		src = "<input>"
+	}
+	return fmt.Sprintf("%s: %d rows accepted, %d quarantined", src, r.Accepted, r.Total)
+}
 
 // WriteCSV writes the dataset as CSV: a header row of "label, <attrs...>,
 // <response>" followed by one row per sample.
@@ -33,51 +93,85 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset written by WriteCSV. The final column is the
-// response; the first is the label; everything between is a predictor.
+// ReadCSV parses a dataset written by WriteCSV with the fail-fast policy.
+// The final column is the response; the first is the label; everything
+// between is a predictor.
 func ReadCSV(r io.Reader) (*Dataset, error) {
+	d, _, err := ReadCSVWith(r, ReadOptions{})
+	return d, err
+}
+
+// ReadCSVWith parses CSV under the given bad-row policy. Under Quarantine
+// the returned report describes every dropped row; under FailFast the
+// report is nil on error and empty on success.
+func ReadCSVWith(r io.Reader, opts ReadOptions) (*Dataset, *QuarantineReport, error) {
+	r = faultinject.WrapReader("dataset.ReadCSV.reader", r)
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, nil, fmt.Errorf("dataset: reading CSV header: %w", err)
 	}
 	if len(header) < 3 {
-		return nil, fmt.Errorf("dataset: CSV needs at least label, one attribute, and a response; got %d columns", len(header))
+		return nil, nil, fmt.Errorf("dataset: CSV needs at least label, one attribute, and a response; got %d columns", len(header))
 	}
 	if header[0] != "label" {
-		return nil, fmt.Errorf("dataset: first CSV column must be %q, got %q", "label", header[0])
+		return nil, nil, fmt.Errorf("dataset: first CSV column must be %q, got %q", "label", header[0])
 	}
 	schema := &Schema{
 		Response:   header[len(header)-1],
 		Attributes: append([]string(nil), header[1:len(header)-1]...),
 	}
 	d := New(schema)
+	rep := &QuarantineReport{Source: opts.Source}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
-		}
-		s := Sample{Label: rec[0], X: make([]float64, len(rec)-2)}
-		for j := 1; j < len(rec)-1; j++ {
-			v, err := strconv.ParseFloat(rec[j], 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: CSV line %d column %d: %w", line, j+1, err)
+			// A wrong field count is a row defect; anything else
+			// (I/O failure, bare-quote corruption that desyncs the
+			// parser) is structural and fatal under both policies.
+			if opts.Policy == Quarantine && errors.Is(err, csv.ErrFieldCount) {
+				rep.add(line, err.Error())
+				continue
 			}
-			s.X[j-1] = v
+			return nil, nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
 		}
-		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		s, err := parseCSVRow(rec)
+		if err == nil {
+			faultinject.CorruptRow("dataset.ReadCSV.row", s.X, &s.Y)
+			err = d.Append(s)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: CSV line %d response: %w", line, err)
+			if opts.Policy == Quarantine {
+				rep.add(line, err.Error())
+				continue
+			}
+			return nil, nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
 		}
-		s.Y = y
-		if err := d.Append(s); err != nil {
-			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
-		}
+		rep.Accepted++
 	}
-	return d, nil
+	return d, rep, nil
+}
+
+// parseCSVRow converts one CSV record (label, predictors..., response)
+// into a Sample.
+func parseCSVRow(rec []string) (Sample, error) {
+	s := Sample{Label: rec[0], X: make([]float64, len(rec)-2)}
+	for j := 1; j < len(rec)-1; j++ {
+		v, err := strconv.ParseFloat(rec[j], 64)
+		if err != nil {
+			return Sample{}, fmt.Errorf("column %d: %w", j+1, err)
+		}
+		s.X[j-1] = v
+	}
+	y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("response: %w", err)
+	}
+	s.Y = y
+	return s, nil
 }
 
 // WriteARFF writes the dataset in WEKA's ARFF format, the interchange
@@ -102,16 +196,26 @@ func (d *Dataset) WriteARFF(w io.Writer, relation string) error {
 	return bw.Flush()
 }
 
-// ReadARFF parses the subset of ARFF emitted by WriteARFF: one string
-// label attribute followed by numeric attributes, the last of which is the
-// response. Comments (%) and blank lines are skipped; sparse ARFF is not
-// supported.
+// ReadARFF parses the subset of ARFF emitted by WriteARFF with the
+// fail-fast policy: one string label attribute followed by numeric
+// attributes, the last of which is the response. Comments (%) and blank
+// lines are skipped; sparse ARFF is not supported.
 func ReadARFF(r io.Reader) (*Dataset, error) {
+	d, _, err := ReadARFFWith(r, ReadOptions{})
+	return d, err
+}
+
+// ReadARFFWith parses ARFF under the given bad-row policy. Header
+// (@ATTRIBUTE/@DATA) problems are fatal under both policies; data rows
+// that fail to parse or validate are quarantined when requested.
+func ReadARFFWith(r io.Reader, opts ReadOptions) (*Dataset, *QuarantineReport, error) {
+	r = faultinject.WrapReader("dataset.ReadARFF.reader", r)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var names []string
 	var inData bool
 	var d *Dataset
+	rep := &QuarantineReport{Source: opts.Source}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -127,12 +231,12 @@ func ReadARFF(r io.Reader) (*Dataset, error) {
 			case strings.HasPrefix(lower, "@attribute"):
 				fields := strings.Fields(text)
 				if len(fields) < 3 {
-					return nil, fmt.Errorf("dataset: ARFF line %d: malformed @ATTRIBUTE", line)
+					return nil, nil, fmt.Errorf("dataset: ARFF line %d: malformed @ATTRIBUTE", line)
 				}
 				names = append(names, strings.Trim(fields[1], "'\""))
 			case strings.HasPrefix(lower, "@data"):
 				if len(names) < 3 {
-					return nil, fmt.Errorf("dataset: ARFF needs label, one attribute, and a response; got %d attributes", len(names))
+					return nil, nil, fmt.Errorf("dataset: ARFF needs label, one attribute, and a response; got %d attributes", len(names))
 				}
 				schema := &Schema{
 					Response:   names[len(names)-1],
@@ -141,38 +245,54 @@ func ReadARFF(r io.Reader) (*Dataset, error) {
 				d = New(schema)
 				inData = true
 			default:
-				return nil, fmt.Errorf("dataset: ARFF line %d: unrecognized directive %q", line, text)
+				return nil, nil, fmt.Errorf("dataset: ARFF line %d: unrecognized directive %q", line, text)
 			}
 			continue
 		}
-		rec := strings.Split(text, ",")
-		if len(rec) != len(names) {
-			return nil, fmt.Errorf("dataset: ARFF line %d: %d fields, want %d", line, len(rec), len(names))
+		s, err := parseARFFRow(text, len(names))
+		if err == nil {
+			faultinject.CorruptRow("dataset.ReadARFF.row", s.X, &s.Y)
+			err = d.Append(s)
 		}
-		s := Sample{Label: strings.Trim(strings.TrimSpace(rec[0]), "'\""), X: make([]float64, len(rec)-2)}
-		for j := 1; j < len(rec)-1; j++ {
-			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: ARFF line %d field %d: %w", line, j+1, err)
-			}
-			s.X[j-1] = v
-		}
-		y, err := strconv.ParseFloat(strings.TrimSpace(rec[len(rec)-1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: ARFF line %d response: %w", line, err)
+			if opts.Policy == Quarantine {
+				rep.add(line, err.Error())
+				continue
+			}
+			return nil, nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
 		}
-		s.Y = y
-		if err := d.Append(s); err != nil {
-			return nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
-		}
+		rep.Accepted++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if d == nil {
-		return nil, fmt.Errorf("dataset: ARFF input has no @DATA section")
+		return nil, nil, fmt.Errorf("dataset: ARFF input has no @DATA section")
 	}
-	return d, nil
+	return d, rep, nil
+}
+
+// parseARFFRow converts one @DATA line into a Sample, enforcing the field
+// count implied by the attribute declarations.
+func parseARFFRow(text string, wantFields int) (Sample, error) {
+	rec := strings.Split(text, ",")
+	if len(rec) != wantFields {
+		return Sample{}, fmt.Errorf("%d fields, want %d", len(rec), wantFields)
+	}
+	s := Sample{Label: strings.Trim(strings.TrimSpace(rec[0]), "'\""), X: make([]float64, len(rec)-2)}
+	for j := 1; j < len(rec)-1; j++ {
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+		if err != nil {
+			return Sample{}, fmt.Errorf("field %d: %w", j+1, err)
+		}
+		s.X[j-1] = v
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(rec[len(rec)-1]), 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("response: %w", err)
+	}
+	s.Y = y
+	return s, nil
 }
 
 // arffQuote quotes a token if it contains characters that would break

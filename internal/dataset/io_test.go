@@ -115,6 +115,79 @@ func TestReadARFFErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVQuarantine(t *testing.T) {
+	in := "label,A,CPI\n" +
+		"good1,1,2\n" +
+		"badnum,zzz,2\n" +
+		"badnan,NaN,2\n" +
+		"short,1\n" +
+		"good2,3,4\n" +
+		"badresp,1,+Inf\n"
+	d, rep, err := ReadCSVWith(strings.NewReader(in), ReadOptions{Policy: Quarantine, Source: "corrupt.csv"})
+	if err != nil {
+		t.Fatalf("quarantine read failed: %v", err)
+	}
+	if d.Len() != 2 || d.Samples[0].Label != "good1" || d.Samples[1].Label != "good2" {
+		t.Errorf("surviving samples = %+v", d.Samples)
+	}
+	if rep.Accepted != 2 || rep.Total != 4 {
+		t.Errorf("report = %+v, want 2 accepted / 4 quarantined", rep)
+	}
+	if rep.Source != "corrupt.csv" || !strings.Contains(rep.String(), "corrupt.csv") {
+		t.Errorf("report source = %q (%s)", rep.Source, rep)
+	}
+	for _, q := range rep.Rows {
+		if q.Line < 2 || q.Reason == "" {
+			t.Errorf("bad quarantine detail: %+v", q)
+		}
+	}
+	// The same input fails fast under the default policy.
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Error("fail-fast read accepted corrupt input")
+	}
+}
+
+func TestReadARFFQuarantine(t *testing.T) {
+	in := "@RELATION r\n@ATTRIBUTE label string\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\n" +
+		"good1,1,2\n" +
+		"badnum,xx,1\n" +
+		"miscol,1\n" +
+		"badnan,NaN,1\n" +
+		"good2,2,3\n"
+	d, rep, err := ReadARFFWith(strings.NewReader(in), ReadOptions{Policy: Quarantine, Source: "corrupt.arff"})
+	if err != nil {
+		t.Fatalf("quarantine read failed: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("surviving samples = %+v", d.Samples)
+	}
+	if rep.Accepted != 2 || rep.Total != 3 {
+		t.Errorf("report = %+v, want 2 accepted / 3 quarantined", rep)
+	}
+	// Header damage stays fatal even under Quarantine.
+	if _, _, err := ReadARFFWith(strings.NewReader("@BOGUS\n"), ReadOptions{Policy: Quarantine}); err == nil {
+		t.Error("structural damage was quarantined instead of failing")
+	}
+}
+
+func TestQuarantineReportDetailCap(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("label,A,CPI\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("bad,zzz,1\n")
+	}
+	_, rep, err := ReadCSVWith(strings.NewReader(sb.String()), ReadOptions{Policy: Quarantine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 100 {
+		t.Errorf("Total = %d, want 100", rep.Total)
+	}
+	if len(rep.Rows) != maxQuarantineDetail {
+		t.Errorf("detail rows = %d, want cap %d", len(rep.Rows), maxQuarantineDetail)
+	}
+}
+
 func TestReadARFFSkipsComments(t *testing.T) {
 	in := `% a comment
 @RELATION test

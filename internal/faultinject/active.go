@@ -1,0 +1,173 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether the active implementation is compiled in.
+const Enabled = true
+
+// registry is the process-wide fault plan. Sites consult it on every
+// arrival; Activate/Deactivate bracket one experiment.
+var registry struct {
+	mu     sync.Mutex
+	seed   uint64
+	faults map[string][]*armedFault
+}
+
+type armedFault struct {
+	Fault
+	calls uint64 // arrivals observed at this fault
+}
+
+// Activate installs a fault plan. The seed drives every probabilistic
+// trigger deterministically: the same seed and the same arrival order
+// fire the same faults.
+func Activate(seed uint64, faults ...Fault) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.seed = seed
+	registry.faults = make(map[string][]*armedFault)
+	for _, f := range faults {
+		registry.faults[f.Site] = append(registry.faults[f.Site], &armedFault{Fault: f})
+	}
+}
+
+// Deactivate clears the fault plan; safe to defer around a test body.
+func Deactivate() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.faults = nil
+}
+
+// splitmix64 is the per-arrival hash behind probabilistic triggers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fire reports whether the fault triggers on this arrival, under the
+// registry lock.
+func (a *armedFault) fire(seed uint64) bool {
+	a.calls++
+	if a.OnCall > 0 && a.calls != uint64(a.OnCall) {
+		return false
+	}
+	if a.Prob > 0 {
+		h := splitmix64(seed ^ splitmix64(a.calls) ^ hashSite(a.Site))
+		u := float64(h>>11) / float64(1<<53)
+		return u < a.Prob
+	}
+	return true
+}
+
+func hashSite(site string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// next returns the first fault firing at the site on this arrival, or nil.
+// Only faults for which relevant reports true are considered — and, more
+// importantly, counted. A site may probe several helpers per logical
+// arrival (Sleep, then CheckPanic, then Check); counting a panic fault's
+// arrivals inside Sleep would burn OnCall ticks on probes that can never
+// fire it. Each helper therefore advances only the counters of faults
+// whose action it can deliver, so OnCall means "the n-th arrival at the
+// probe matching the fault's action".
+func next(site string, relevant func(*Fault) bool) *armedFault {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, a := range registry.faults[site] {
+		if !relevant(&a.Fault) {
+			continue
+		}
+		if a.fire(registry.seed) {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check reports an injected error at the site.
+func Check(site string) error {
+	if a := next(site, func(f *Fault) bool { return f.Err != nil }); a != nil {
+		return a.Err
+	}
+	return nil
+}
+
+// CheckPanic panics at the site when a panic fault fires.
+func CheckPanic(site string) {
+	if a := next(site, func(f *Fault) bool { return f.Panic != "" }); a != nil {
+		panic("faultinject: " + a.Panic)
+	}
+}
+
+// Sleep delays the caller when a slow-worker fault fires.
+func Sleep(site string) {
+	if a := next(site, func(f *Fault) bool { return f.DelayMilli > 0 }); a != nil {
+		time.Sleep(time.Duration(a.DelayMilli) * time.Millisecond)
+	}
+}
+
+// CorruptRow overwrites one value of x (or *y when the fault targets the
+// response) with a non-finite value, reporting whether it fired.
+func CorruptRow(site string, x []float64, y *float64) bool {
+	a := next(site, func(f *Fault) bool { return f.CorruptNaN || f.CorruptInf })
+	if a == nil {
+		return false
+	}
+	v := math.NaN()
+	if a.CorruptInf {
+		v = math.Inf(1)
+	}
+	if a.Y && y != nil {
+		*y = v
+		return true
+	}
+	if len(x) == 0 {
+		if y != nil {
+			*y = v
+			return true
+		}
+		return false
+	}
+	// Deterministic column choice from the arrival ordinal.
+	x[int(a.calls)%len(x)] = v
+	return true
+}
+
+// WrapReader wraps r so that reads fail with the configured error once the
+// fault fires. The reader consults the site on every Read, so OnCall
+// counts reads, modeling an I/O error mid-stream.
+func WrapReader(site string, r io.Reader) io.Reader {
+	return &faultReader{site: site, r: r}
+}
+
+type faultReader struct {
+	site string
+	r    io.Reader
+	err  error
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if fr.err != nil {
+		return 0, fr.err
+	}
+	if a := next(fr.site, func(f *Fault) bool { return f.Err != nil }); a != nil {
+		fr.err = a.Err
+		return 0, fr.err
+	}
+	return fr.r.Read(p)
+}

@@ -1,0 +1,134 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckFiresOnConfiguredCall(t *testing.T) {
+	defer Deactivate()
+	want := errors.New("injected")
+	Activate(1, Fault{Site: "s", OnCall: 3, Err: want})
+	for i := 1; i <= 5; i++ {
+		err := Check("s")
+		if i == 3 && err != want {
+			t.Errorf("call %d: err = %v, want %v", i, err, want)
+		}
+		if i != 3 && err != nil {
+			t.Errorf("call %d: err = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestUnconfiguredSiteIsSilent(t *testing.T) {
+	defer Deactivate()
+	Activate(1, Fault{Site: "s", Err: errors.New("x")})
+	if err := Check("other"); err != nil {
+		t.Errorf("Check(other) = %v", err)
+	}
+}
+
+func TestCheckPanicPanics(t *testing.T) {
+	defer Deactivate()
+	Activate(1, Fault{Site: "p", Panic: "worker down"})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("CheckPanic did not panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "worker down") {
+			t.Errorf("panic value = %v", v)
+		}
+	}()
+	CheckPanic("p")
+}
+
+func TestProbabilisticTriggerIsDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		defer Deactivate()
+		Activate(seed, Fault{Site: "s", Prob: 0.5, Err: errors.New("x")})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Check("s") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("Prob=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestCorruptRow(t *testing.T) {
+	defer Deactivate()
+	Activate(1, Fault{Site: "row", OnCall: 2, CorruptNaN: true})
+	x := []float64{1, 2, 3}
+	y := 4.0
+	if CorruptRow("row", x, &y) {
+		t.Error("fired on first arrival, configured for second")
+	}
+	if !CorruptRow("row", x, &y) {
+		t.Fatal("did not fire on second arrival")
+	}
+	nans := 0
+	for _, v := range x {
+		if math.IsNaN(v) {
+			nans++
+		}
+	}
+	if nans != 1 {
+		t.Errorf("corrupted %d predictors, want exactly 1 (x=%v)", nans, x)
+	}
+	if math.IsNaN(y) {
+		t.Error("response corrupted without Y: true")
+	}
+}
+
+func TestCorruptRowResponse(t *testing.T) {
+	defer Deactivate()
+	Activate(1, Fault{Site: "row", CorruptInf: true, Y: true})
+	x := []float64{1}
+	y := 4.0
+	if !CorruptRow("row", x, &y) {
+		t.Fatal("did not fire")
+	}
+	if !math.IsInf(y, 1) {
+		t.Errorf("y = %v, want +Inf", y)
+	}
+	if x[0] != 1 {
+		t.Error("predictor corrupted for a response fault")
+	}
+}
+
+func TestWrapReaderFailsMidStream(t *testing.T) {
+	defer Deactivate()
+	want := errors.New("disk gone")
+	Activate(1, Fault{Site: "rd", OnCall: 2, Err: want})
+	r := WrapReader("rd", strings.NewReader("abcdef"))
+	buf := make([]byte, 3)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := r.Read(buf); err != want {
+		t.Fatalf("second read: err = %v, want %v", err, want)
+	}
+	// The reader stays failed.
+	if _, err := r.Read(buf); err != want {
+		t.Fatalf("third read: err = %v, want %v", err, want)
+	}
+	_ = io.Discard
+}

@@ -1,0 +1,47 @@
+// Package faultinject provides deterministic, seed-driven fault injection
+// points for proving the pipeline's degradation contracts.
+//
+// Production builds compile the no-op stubs in stub.go: every injection
+// point is an inlinable empty function, so instrumented call sites cost
+// nothing and inject nothing. Building with `-tags faultinject` (done only
+// by the fault-injection test suite and its CI step) swaps in the active
+// implementation in active.go, which fires configured faults — reader I/O
+// errors, NaN/Inf row corruption, worker panics, artificially slow
+// workers — at named sites, deterministically for a fixed seed.
+//
+// The instrumented sites are stable, documented names:
+//
+//	dataset.ReadCSV.reader   io.Reader wrapped on CSV ingest
+//	dataset.ReadARFF.reader  io.Reader wrapped on ARFF ingest
+//	dataset.ReadCSV.row      parsed CSV row about to be appended
+//	dataset.ReadARFF.row     parsed ARFF row about to be appended
+//	mtree.build.worker       lifted induction worker (grow/fit/prune)
+//	mtree.predict.chunk      compiled batch-prediction chunk
+//	mtree.cv.fold            cross-validation fold worker
+//	mtree.importance.attr    permutation-importance attribute worker
+//	suites.generate.bench    per-benchmark generation worker
+package faultinject
+
+// A Fault describes one configured failure at a named site. The zero
+// trigger fields fire on every call; OnCall restricts firing to the n-th
+// arrival (1-based) at the probe matching the fault's action — a site may
+// probe several helpers per logical arrival, and only the helper able to
+// deliver the fault's action advances its counter; Prob fires on a
+// deterministic seed-and-counter hash with the given probability. Exactly
+// one of the action fields (Err, Panic, CorruptNaN/CorruptInf, Delay)
+// should be set.
+type Fault struct {
+	Site string
+
+	// Trigger selection.
+	OnCall int     // fire only on the n-th arrival at the site (0 = every arrival)
+	Prob   float64 // fire with this probability per arrival (0 = always, subject to OnCall)
+
+	// Actions.
+	Err        error  // returned from Check / surfaced by the wrapped reader
+	Panic      string // message passed to panic()
+	CorruptNaN bool   // overwrite one value of the row with NaN
+	CorruptInf bool   // overwrite one value of the row with +Inf
+	DelayMilli int    // sleep this long (artificial slow worker)
+	Y          bool   // corrupt the response instead of a predictor
+}

@@ -1,0 +1,29 @@
+//go:build !faultinject
+
+package faultinject
+
+import "io"
+
+// Enabled reports whether the active implementation is compiled in.
+const Enabled = false
+
+// Check reports an injected error at the site; always nil in production
+// builds.
+func Check(site string) error { return nil }
+
+// CheckPanic panics at the site when a panic fault is configured; a no-op
+// in production builds.
+func CheckPanic(site string) {}
+
+// Sleep delays the caller when a slow-worker fault is configured; a no-op
+// in production builds.
+func Sleep(site string) {}
+
+// CorruptRow overwrites one value of x (or *y) with a non-finite value
+// when a corruption fault is configured, reporting whether it fired;
+// always false in production builds.
+func CorruptRow(site string, x []float64, y *float64) bool { return false }
+
+// WrapReader wraps r with an error-injecting reader when a reader fault is
+// configured; the identity in production builds.
+func WrapReader(site string, r io.Reader) io.Reader { return r }

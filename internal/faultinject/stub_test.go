@@ -1,0 +1,33 @@
+//go:build !faultinject
+
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// The production stubs must be inert: no errors, no panics, no mutation,
+// identity reader.
+func TestStubsAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true in a stub build")
+	}
+	if err := Check("any.site"); err != nil {
+		t.Errorf("Check = %v", err)
+	}
+	CheckPanic("any.site")
+	Sleep("any.site")
+	x := []float64{1, 2, 3}
+	y := 4.0
+	if CorruptRow("any.site", x, &y) {
+		t.Error("stub CorruptRow fired")
+	}
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 || y != 4 {
+		t.Error("stub CorruptRow mutated its arguments")
+	}
+	r := strings.NewReader("data")
+	if got := WrapReader("any.site", r); got != r {
+		t.Error("stub WrapReader is not the identity")
+	}
+}

@@ -29,6 +29,7 @@ package mtree
 // off.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -286,32 +287,6 @@ func (sc *matScratch) resize(n int) []float64 {
 	return sc.flat[:n]
 }
 
-// forRanges fans [0,n) out in chunks across the worker pool; every chunk
-// owns a disjoint range, so callers writing out[lo:hi] need no further
-// synchronization and results are positionally identical to a serial
-// pass.
-func (c *CompiledTree) forRanges(n int, fn func(lo, hi int)) {
-	workers := effectiveWorkers(c.Workers)
-	if workers <= 1 || n < predictParallelMin {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	if chunk < predictParallelMin/2 {
-		chunk = predictParallelMin / 2
-	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // copyRows packs rows [lo,hi) of the dataset into a pooled row-major
 // slab, so the scoring loop streams one contiguous block instead of
 // heap-scattered per-sample vectors.
@@ -330,8 +305,20 @@ func (c *CompiledTree) copyRows(d *dataset.Dataset, lo, hi int) (*matScratch, []
 // sample rows must match the schema width; see PredictDatasetChecked for
 // the validating entry point.
 func (c *CompiledTree) PredictDataset(d *dataset.Dataset) []float64 {
+	out, err := c.PredictDatasetContext(context.Background(), d)
+	if err != nil {
+		panic(err) // unreachable without cancellation or a contained panic
+	}
+	return out
+}
+
+// PredictDatasetContext is PredictDataset with cooperative cancellation:
+// scoring workers pull fixed chunks and check the context at every chunk
+// boundary, so a canceled context returns a wrapped ctx.Err() within one
+// chunk of work; a panicking worker is contained and returned as an error.
+func (c *CompiledTree) PredictDatasetContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
 	out := make([]float64, d.Len())
-	c.forRanges(d.Len(), func(lo, hi int) {
+	err := forRangesCtx(ctx, d.Len(), effectiveWorkers(c.Workers), "mtree.predict.chunk", func(lo, hi int) {
 		sc, flat := c.copyRows(d, lo, hi)
 		w := c.width
 		for r, i := 0, lo; i < hi; r, i = r+1, i+1 {
@@ -339,7 +326,10 @@ func (c *CompiledTree) PredictDataset(d *dataset.Dataset) []float64 {
 		}
 		matPool.Put(sc)
 	})
-	return out
+	if err != nil {
+		return nil, fmt.Errorf("mtree: compiled batch prediction: %w", err)
+	}
+	return out, nil
 }
 
 // PredictDatasetChecked validates the dataset against the compiled schema
@@ -352,12 +342,31 @@ func (c *CompiledTree) PredictDatasetChecked(d *dataset.Dataset) ([]float64, err
 	return c.PredictDataset(d), nil
 }
 
+// PredictDatasetCheckedContext combines the validation of
+// PredictDatasetChecked with the cancellation of PredictDatasetContext.
+func (c *CompiledTree) PredictDatasetCheckedContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
+	if err := c.checkDataset(d); err != nil {
+		return nil, err
+	}
+	return c.PredictDatasetContext(ctx, d)
+}
+
 // ClassifyLeaves returns the 1-based LeafID of every sample in d, batched
 // like PredictDataset. See ClassifyLeavesChecked for the validating entry
 // point.
 func (c *CompiledTree) ClassifyLeaves(d *dataset.Dataset) []int {
+	out, err := c.ClassifyLeavesContext(context.Background(), d)
+	if err != nil {
+		panic(err) // unreachable without cancellation or a contained panic
+	}
+	return out
+}
+
+// ClassifyLeavesContext is ClassifyLeaves with cooperative cancellation at
+// chunk boundaries.
+func (c *CompiledTree) ClassifyLeavesContext(ctx context.Context, d *dataset.Dataset) ([]int, error) {
 	out := make([]int, d.Len())
-	c.forRanges(d.Len(), func(lo, hi int) {
+	err := forRangesCtx(ctx, d.Len(), effectiveWorkers(c.Workers), "mtree.predict.chunk", func(lo, hi int) {
 		sc, flat := c.copyRows(d, lo, hi)
 		w := c.width
 		for r, i := 0, lo; i < hi; r, i = r+1, i+1 {
@@ -365,7 +374,10 @@ func (c *CompiledTree) ClassifyLeaves(d *dataset.Dataset) []int {
 		}
 		matPool.Put(sc)
 	})
-	return out
+	if err != nil {
+		return nil, fmt.Errorf("mtree: compiled leaf classification: %w", err)
+	}
+	return out, nil
 }
 
 // ClassifyLeavesChecked validates the dataset against the compiled schema
@@ -376,4 +388,13 @@ func (c *CompiledTree) ClassifyLeavesChecked(d *dataset.Dataset) ([]int, error) 
 		return nil, err
 	}
 	return c.ClassifyLeaves(d), nil
+}
+
+// ClassifyLeavesCheckedContext combines the validation of
+// ClassifyLeavesChecked with the cancellation of ClassifyLeavesContext.
+func (c *CompiledTree) ClassifyLeavesCheckedContext(ctx context.Context, d *dataset.Dataset) ([]int, error) {
+	if err := c.checkDataset(d); err != nil {
+		return nil, err
+	}
+	return c.ClassifyLeavesContext(ctx, d)
 }

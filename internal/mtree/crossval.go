@@ -1,12 +1,14 @@
 package mtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"specchar/internal/dataset"
+	"specchar/internal/faultinject"
+	"specchar/internal/robust"
 )
 
 // CVResult summarizes a k-fold cross-validation of tree induction on a
@@ -32,6 +34,15 @@ type CVResult struct {
 // configured by opts.Workers; the fold partition and every per-fold
 // number are identical for any worker count.
 func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVResult, error) {
+	return CrossValidateContext(context.Background(), d, k, opts, seed)
+}
+
+// CrossValidateContext is CrossValidate with cooperative cancellation: a
+// canceled context stops queued folds, propagates into each in-flight
+// fold's induction and scoring, and is returned as a wrapped ctx.Err().
+// A panic on any fold worker is contained (stack attached), cancels the
+// sibling folds, and fails the cross-validation cleanly.
+func CrossValidateContext(ctx context.Context, d *dataset.Dataset, k int, opts Options, seed uint64) (*CVResult, error) {
 	n := d.Len()
 	if k < 2 {
 		return nil, errors.New("mtree: cross-validation requires k >= 2")
@@ -49,15 +60,15 @@ func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVRes
 	if workers > k {
 		workers = k
 	}
-	sem := make(chan struct{}, workers)
-	errs := make([]error, k)
-	var wg sync.WaitGroup
+	g, gctx := robust.NewGroup(ctx, workers)
 	for fold := 0; fold < k; fold++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(fold int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		fold := fold
+		g.Go(func() error {
+			faultinject.Sleep("mtree.cv.fold")
+			faultinject.CheckPanic("mtree.cv.fold")
+			if err := faultinject.Check("mtree.cv.fold"); err != nil {
+				return fmt.Errorf("mtree: fold %d: %w", fold, err)
+			}
 			train := dataset.New(d.Schema)
 			test := dataset.New(d.Schema)
 			for i, idx := range perm {
@@ -67,21 +78,23 @@ func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVRes
 					train.Samples = append(train.Samples, d.Samples[idx])
 				}
 			}
-			tree, err := Build(train, opts)
+			tree, err := BuildContext(gctx, train, opts)
 			if err != nil {
-				errs[fold] = fmt.Errorf("mtree: fold %d: %w", fold, err)
-				return
+				return fmt.Errorf("mtree: fold %d: %w", fold, err)
 			}
 			// Score the fold on the compiled form: each fold's tree is
 			// built once and scores many samples, the compiled path's
 			// sweet spot.
 			ctree, err := tree.Compile()
 			if err != nil {
-				errs[fold] = fmt.Errorf("mtree: fold %d: %w", fold, err)
-				return
+				return fmt.Errorf("mtree: fold %d: %w", fold, err)
+			}
+			preds, err := ctree.PredictDatasetContext(gctx, test)
+			if err != nil {
+				return fmt.Errorf("mtree: fold %d: %w", fold, err)
 			}
 			var absSum, sqSum float64
-			for i, p := range ctree.PredictDataset(test) {
+			for i, p := range preds {
 				r := p - test.Samples[i].Y
 				absSum += math.Abs(r)
 				sqSum += r * r
@@ -89,13 +102,11 @@ func CrossValidate(d *dataset.Dataset, k int, opts Options, seed uint64) (*CVRes
 			m := float64(test.Len())
 			res.FoldMAE[fold] = absSum / m
 			res.FoldRMSE[fold] = math.Sqrt(sqSum / m)
-		}(fold)
+			return nil
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := g.Wait(); err != nil {
+		return nil, fmt.Errorf("mtree: cross-validation: %w", err)
 	}
 	for i := 0; i < k; i++ {
 		res.MeanMAE += res.FoldMAE[i]

@@ -1,11 +1,14 @@
 package mtree
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"specchar/internal/dataset"
+	"specchar/internal/faultinject"
+	"specchar/internal/robust"
 )
 
 // AttrImportance reports one attribute's contribution to a model's
@@ -33,9 +36,21 @@ type AttrImportance struct {
 // its own scratch row, so the result is identical at any worker count.
 // The result is sorted by descending importance.
 func (t *Tree) PermutationImportance(d *dataset.Dataset, rounds int, seed uint64) []AttrImportance {
+	out, err := t.PermutationImportanceContext(context.Background(), d, rounds, seed)
+	if err != nil {
+		panic(err) // unreachable without cancellation or a contained panic
+	}
+	return out
+}
+
+// PermutationImportanceContext is PermutationImportance with cooperative
+// cancellation: attribute workers check the context between rounds, a
+// canceled context returns a wrapped ctx.Err(), and a panicking worker is
+// contained and returned as an error.
+func (t *Tree) PermutationImportanceContext(ctx context.Context, d *dataset.Dataset, rounds int, seed uint64) ([]AttrImportance, error) {
 	n := d.Len()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	if rounds < 1 {
 		rounds = 1
@@ -70,14 +85,15 @@ func (t *Tree) PermutationImportance(d *dataset.Dataset, rounds int, seed uint64
 	if workers > nAttrs {
 		workers = nAttrs
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	g, gctx := robust.NewGroup(ctx, workers)
 	for a := 0; a < nAttrs; a++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(a int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		a := a
+		g.Go(func() error {
+			faultinject.Sleep("mtree.importance.attr")
+			faultinject.CheckPanic("mtree.importance.attr")
+			if err := faultinject.Check("mtree.importance.attr"); err != nil {
+				return fmt.Errorf("mtree: importance of attribute %d: %w", a, err)
+			}
 			out[a].Attr = a
 			if a < len(d.Schema.Attributes) {
 				out[a].Name = d.Schema.Attributes[a]
@@ -87,6 +103,9 @@ func (t *Tree) PermutationImportance(d *dataset.Dataset, rounds int, seed uint64
 			row := make([]float64, nAttrs)
 			var total float64
 			for r := 0; r < rounds; r++ {
+				if gctx.Err() != nil {
+					return nil // Wait surfaces the cause
+				}
 				perm := perms[a][r]
 				var absSum float64
 				for i, s := range d.Samples {
@@ -101,9 +120,12 @@ func (t *Tree) PermutationImportance(d *dataset.Dataset, rounds int, seed uint64
 				total += absSum/float64(n) - baseMAE
 			}
 			out[a].MAEIncrease = total / float64(rounds)
-		}(a)
+			return nil
+		})
 	}
-	wg.Wait()
+	if err := g.Wait(); err != nil {
+		return nil, fmt.Errorf("mtree: permutation importance: %w", err)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].MAEIncrease > out[j].MAEIncrease })
-	return out
+	return out, nil
 }

@@ -19,14 +19,18 @@
 package mtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"specchar/internal/dataset"
+	"specchar/internal/faultinject"
 	"specchar/internal/linreg"
+	"specchar/internal/robust"
 )
 
 // Options control tree induction.
@@ -134,6 +138,19 @@ var ErrNoData = errors.New("mtree: empty training set")
 
 // Build trains an M5' model tree on the dataset.
 func Build(d *dataset.Dataset, opts Options) (*Tree, error) {
+	return BuildContext(context.Background(), d, opts)
+}
+
+// BuildContext is Build with cooperative cancellation: induction checks the
+// context at every node fork and chunk boundary and returns a wrapped
+// ctx.Err() (errors.Is(err, context.Canceled) holds) once it is observed.
+// A panic on any induction worker is recovered with its stack, cancels the
+// sibling workers, and is returned as the build error instead of crashing
+// the process.
+func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d.Len() == 0 {
 		return nil, ErrNoData
 	}
@@ -144,14 +161,18 @@ func Build(d *dataset.Dataset, opts Options) (*Tree, error) {
 		opts.MinSplit = 2 * opts.MinLeaf
 	}
 	n := d.Len()
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	b := &builder{
 		// Xs/Ys return fresh top-level slices (row views and a response
 		// copy), so the builder may permute them freely; the dataset's own
 		// storage is never reordered or written.
-		xs:   d.Xs(),
-		ys:   d.Ys(),
-		ord:  indicesUpTo(n),
-		opts: opts,
+		xs:     d.Xs(),
+		ys:     d.Ys(),
+		ord:    indicesUpTo(n),
+		opts:   opts,
+		ctx:    bctx,
+		cancel: cancel,
 	}
 	if w := effectiveWorkers(opts.Workers); w > 1 {
 		b.sem = make(chan struct{}, w-1)
@@ -159,10 +180,25 @@ func Build(d *dataset.Dataset, opts Options) (*Tree, error) {
 	rootSD := popSDRange(b.ys, 0, n)
 	b.sdStop = rootSD * opts.SDThresholdFrac
 
-	root := b.grow(0, n, 0)
-	b.fitModels(root, 0, n)
-	if opts.Prune {
-		b.prune(root, 0, n)
+	var root *Node
+	// The caller-goroutine half of every fork runs here; Safely gives it
+	// the same containment forkJoin gives the lifted half. forkJoin joins
+	// before returning, so no worker outlives this call.
+	if err := robust.Safely(func() error {
+		root = b.grow(0, n, 0)
+		b.fitModels(root, 0, n)
+		if opts.Prune {
+			b.prune(root, 0, n)
+		}
+		return nil
+	}); err != nil {
+		b.fail(err)
+	}
+	if err := b.failure(); err != nil {
+		return nil, fmt.Errorf("mtree: build failed: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mtree: build canceled: %w", err)
 	}
 	t := &Tree{Schema: d.Schema, Root: root, Opts: opts}
 	t.numberLeaves()
@@ -190,6 +226,43 @@ type builder struct {
 	opts   Options
 	sdStop float64
 	sem    chan struct{} // grants for extra worker goroutines; nil = serial
+
+	// Cancellation and failure state. ctx/cancel are nil for the bare
+	// builders of helpers like EvaluateSplits, which only use the split
+	// scan; every method must tolerate that.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	failMu  sync.Mutex
+	failErr error
+}
+
+// fail records the first worker error and cancels the siblings.
+func (b *builder) fail(err error) {
+	if err == nil {
+		return
+	}
+	b.failMu.Lock()
+	if b.failErr == nil {
+		b.failErr = err
+	}
+	b.failMu.Unlock()
+	if b.cancel != nil {
+		b.cancel()
+	}
+}
+
+// failure returns the first recorded worker error, if any.
+func (b *builder) failure() error {
+	b.failMu.Lock()
+	defer b.failMu.Unlock()
+	return b.failErr
+}
+
+// stopped reports whether induction should stop early (cancellation or a
+// sibling failure). Further tree work is wasted once it returns true; the
+// partial tree is discarded by BuildContext.
+func (b *builder) stopped() bool {
+	return b.ctx != nil && b.ctx.Err() != nil
 }
 
 func indicesUpTo(n int) []int {
@@ -208,16 +281,35 @@ const parallelNodeThreshold = 512
 // forkJoin runs left and right, lifting left onto a worker goroutine when
 // the pool has a free grant and the node is large enough to amortize the
 // handoff. Both closures operate on disjoint array ranges, so the join is
-// the only synchronization needed.
+// the only synchronization needed. A panicking lifted worker is contained:
+// the panic is recorded with its stack via fail (canceling the siblings)
+// and the join still completes, so induction degrades to a clean error.
 func (b *builder) forkJoin(size int, left, right func()) {
+	if b.stopped() {
+		return
+	}
 	if b.sem != nil && size >= parallelNodeThreshold {
 		select {
 		case b.sem <- struct{}{}:
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
+				defer func() { <-b.sem }()
+				defer func() {
+					if pe := robust.AsPanicError(recover()); pe != nil {
+						b.fail(pe)
+					}
+				}()
+				if b.stopped() {
+					return
+				}
+				faultinject.Sleep("mtree.build.worker")
+				faultinject.CheckPanic("mtree.build.worker")
+				if err := faultinject.Check("mtree.build.worker"); err != nil {
+					b.fail(err)
+					return
+				}
 				left()
-				<-b.sem
 			}()
 			right()
 			<-done
@@ -235,6 +327,9 @@ func (b *builder) grow(lo, hi, depth int) *Node {
 		N:     hi - lo,
 		MeanY: meanRange(b.ys, lo, hi),
 		SD:    popSDRange(b.ys, lo, hi),
+	}
+	if b.stopped() {
+		return n // partial structure; BuildContext discards it with an error
 	}
 	if hi-lo < b.opts.MinSplit || n.SD <= b.sdStop ||
 		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth) {
@@ -314,6 +409,14 @@ func (b *builder) bestSplit(lo, hi int) (attr int, threshold float64, ok bool) {
 			wg.Add(1)
 			go func(a int) {
 				defer wg.Done()
+				defer func() {
+					if pe := robust.AsPanicError(recover()); pe != nil {
+						b.fail(pe)
+					}
+				}()
+				if b.stopped() {
+					return
+				}
 				thr, sdr, valid := b.bestSplitForAttr(lo, hi, a)
 				results[a] = result{thr, sdr, valid}
 			}(a)
@@ -433,6 +536,9 @@ func (b *builder) bestSplitForAttr(lo, hi, a int) (threshold, bestSDR float64, o
 // straight off the partition grow already performed, so no node copies or
 // re-partitions anything.
 func (b *builder) fitModels(n *Node, lo, hi int) {
+	if b.stopped() {
+		return // leaves Model nil; BuildContext reports the error instead
+	}
 	if n.IsLeaf() {
 		n.Model = b.fitSimplified(lo, hi, allAttrTerms(b.xs[lo]))
 		return
@@ -481,6 +587,9 @@ func (b *builder) fitSimplified(lo, hi int, terms []int) *linreg.Model {
 // at n. Sibling subtrees are pruned concurrently; the parent's decision
 // waits on both children's errors.
 func (b *builder) prune(n *Node, lo, hi int) float64 {
+	if b.stopped() {
+		return 0 // a canceled fitModels may have left Model nil; don't touch it
+	}
 	modelErr := linreg.CompensatedError(n.Model, b.xs[lo:hi], b.ys[lo:hi])
 	if n.IsLeaf() {
 		return modelErr
@@ -621,52 +730,127 @@ func (t *Tree) predictSmoothed(n *Node, x []float64) float64 {
 // up.
 const predictParallelMin = 512
 
+// predictChunk is the work quantum of cancellable batch scoring: workers
+// pull fixed chunks off an atomic counter, so cancellation is observed
+// within one chunk of work regardless of dataset size, and every chunk
+// still writes a disjoint output range (the result is positionally
+// identical to a serial pass).
+const predictChunk = 2048
+
+// forRangesCtx fans [0,n) out in fixed chunks across a worker pool with
+// cooperative cancellation and panic containment. fn must only write state
+// owned by its [lo,hi) range. Returns the wrapped context error when
+// canceled, the contained *robust.PanicError when fn panics, or an
+// injected fault at the named site.
+func forRangesCtx(ctx context.Context, n, workers int, site string, fn func(lo, hi int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body := func() error {
+		faultinject.Sleep(site)
+		faultinject.CheckPanic(site)
+		return faultinject.Check(site)
+	}
+	if workers <= 1 || n < predictParallelMin {
+		// The serial path gets the same containment and per-chunk
+		// cancellation checks as the pool.
+		return robust.Safely(func() error {
+			for lo := 0; lo < n; lo += predictChunk {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := body(); err != nil {
+					return err
+				}
+				fn(lo, min(lo+predictChunk, n))
+			}
+			return nil
+		})
+	}
+	var next atomic.Int64
+	g, gctx := robust.NewGroup(ctx, workers)
+	for w := 0; w < workers; w++ {
+		g.Go(func() error {
+			for {
+				if gctx.Err() != nil {
+					return nil // Wait surfaces the cause
+				}
+				lo := int(next.Add(predictChunk)) - predictChunk
+				if lo >= n {
+					return nil
+				}
+				if err := body(); err != nil {
+					return err
+				}
+				fn(lo, min(lo+predictChunk, n))
+			}
+		})
+	}
+	return g.Wait()
+}
+
 // PredictDataset returns predictions for every sample in d. Large batches
 // are scored in fixed chunks across the tree's worker pool; every chunk
 // writes a disjoint range of the output, so the result is identical to a
 // serial pass.
 func (t *Tree) PredictDataset(d *dataset.Dataset) []float64 {
-	out := make([]float64, d.Len())
-	workers := effectiveWorkers(t.Opts.Workers)
-	if workers <= 1 || d.Len() < predictParallelMin {
-		for i, s := range d.Samples {
-			out[i] = t.Predict(s.X)
-		}
-		return out
+	out, err := t.PredictDatasetContext(context.Background(), d)
+	if err != nil {
+		// Unreachable without cancellation or a worker panic; a contained
+		// panic resumes here rather than silently returning zeros.
+		panic(err)
 	}
-	chunk := (d.Len() + workers - 1) / workers
-	if chunk < predictParallelMin/2 {
-		chunk = predictParallelMin / 2
-	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < d.Len(); lo += chunk {
-		hi := min(lo+chunk, d.Len())
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = t.Predict(d.Samples[i].X)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 	return out
+}
+
+// PredictDatasetContext is PredictDataset with cooperative cancellation at
+// chunk boundaries: a canceled context returns a wrapped ctx.Err() and a
+// panicking scoring worker is contained and returned as an error.
+func (t *Tree) PredictDatasetContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
+	out := make([]float64, d.Len())
+	err := forRangesCtx(ctx, d.Len(), effectiveWorkers(t.Opts.Workers), "mtree.predict.chunk", func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = t.Predict(d.Samples[i].X)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mtree: batch prediction: %w", err)
+	}
+	return out, nil
+}
+
+// checkDatasetWidths validates the dataset's schema width and every sample
+// row against the tree's schema.
+func (t *Tree) checkDatasetWidths(d *dataset.Dataset) error {
+	if err := t.checkWidth(d.Schema.NumAttrs()); err != nil {
+		return err
+	}
+	for i := range d.Samples {
+		if len(d.Samples[i].X) != t.Schema.NumAttrs() {
+			return fmt.Errorf("%w: sample %d has %d attributes, schema has %d",
+				ErrSampleWidth, i, len(d.Samples[i].X), t.Schema.NumAttrs())
+		}
+	}
+	return nil
 }
 
 // PredictDatasetChecked validates the dataset against the tree's schema
 // (width of the schema and of every sample row) before predicting — the
 // safe entry point for datasets loaded from external files.
 func (t *Tree) PredictDatasetChecked(d *dataset.Dataset) ([]float64, error) {
-	if err := t.checkWidth(d.Schema.NumAttrs()); err != nil {
+	if err := t.checkDatasetWidths(d); err != nil {
 		return nil, err
 	}
-	for i := range d.Samples {
-		if len(d.Samples[i].X) != t.Schema.NumAttrs() {
-			return nil, fmt.Errorf("%w: sample %d has %d attributes, schema has %d",
-				ErrSampleWidth, i, len(d.Samples[i].X), t.Schema.NumAttrs())
-		}
-	}
 	return t.PredictDataset(d), nil
+}
+
+// PredictDatasetCheckedContext combines the validation of
+// PredictDatasetChecked with the cancellation of PredictDatasetContext.
+func (t *Tree) PredictDatasetCheckedContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
+	if err := t.checkDatasetWidths(d); err != nil {
+		return nil, err
+	}
+	return t.PredictDatasetContext(ctx, d)
 }
 
 // Depth returns the maximum depth of the tree (a lone root has depth 1).

@@ -1,10 +1,12 @@
 package mtree
 
 import (
+	"context"
+	"fmt"
 	"sort"
-	"sync"
 
 	"specchar/internal/dataset"
+	"specchar/internal/robust"
 )
 
 // SplitCandidate reports, for one attribute, the best available split of a
@@ -28,8 +30,23 @@ type SplitCandidate struct {
 // written per attribute and stably sorted afterwards, so every worker
 // count produces the identical ranking.
 func EvaluateSplits(d *dataset.Dataset, opts Options) []SplitCandidate {
+	out, err := EvaluateSplitsContext(context.Background(), d, opts)
+	if err != nil {
+		panic(err) // unreachable without cancellation or a contained panic
+	}
+	return out
+}
+
+// EvaluateSplitsContext is EvaluateSplits with cooperative cancellation:
+// queued attribute scans are skipped once the context is canceled and a
+// wrapped ctx.Err() is returned; a panicking scan worker is contained and
+// returned as an error.
+func EvaluateSplitsContext(ctx context.Context, d *dataset.Dataset, opts Options) ([]SplitCandidate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d.Len() == 0 {
-		return nil
+		return nil, nil
 	}
 	if opts.MinLeaf < 1 {
 		opts.MinLeaf = 1
@@ -44,23 +61,28 @@ func EvaluateSplits(d *dataset.Dataset, opts Options) []SplitCandidate {
 		}
 	}
 	if workers := effectiveWorkers(opts.Workers); workers > 1 && len(out) > 1 {
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
+		g, _ := robust.NewGroup(ctx, workers)
 		for a := range out {
-			sem <- struct{}{}
-			wg.Add(1)
-			go func(a int) {
-				defer wg.Done()
-				scan(a)
-				<-sem
-			}(a)
+			a := a
+			g.Go(func() error { scan(a); return nil })
 		}
-		wg.Wait()
+		if err := g.Wait(); err != nil {
+			return nil, fmt.Errorf("mtree: split evaluation: %w", err)
+		}
 	} else {
-		for a := range out {
-			scan(a)
+		err := robust.Safely(func() error {
+			for a := range out {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				scan(a)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mtree: split evaluation: %w", err)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].SDR > out[j].SDR })
-	return out
+	return out, nil
 }

@@ -11,6 +11,7 @@
 package pmu
 
 import (
+	"errors"
 	"fmt"
 
 	"specchar/internal/dataset"
@@ -79,12 +80,19 @@ var catalog = [NumEvents]EventInfo{
 	SIMD:       {SIMD, "SIMD", "SIMD_INST_RETIRED.ANY", "retired SIMD instructions per instruction"},
 }
 
-// Info returns the catalog entry for an event.
-func Info(id EventID) EventInfo {
+// ErrInvalidEvent is returned by the catalog lookup paths when the event
+// id does not name a programmable event of Table I.
+var ErrInvalidEvent = errors.New("pmu: invalid event id")
+
+// Info returns the catalog entry for an event, or ErrInvalidEvent for an
+// id outside the catalog. Event ids routinely arrive from external input
+// (deserialized trees, CLI flags, dataset column positions), so an
+// out-of-range id is a diagnosable condition, not a programming error.
+func Info(id EventID) (EventInfo, error) {
 	if id < 0 || id >= NumEvents {
-		panic(fmt.Sprintf("pmu: invalid event id %d", id))
+		return EventInfo{}, fmt.Errorf("%w: %d", ErrInvalidEvent, id)
 	}
-	return catalog[id]
+	return catalog[id], nil
 }
 
 // Catalog returns all catalog entries in Table I order.

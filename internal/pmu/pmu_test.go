@@ -1,6 +1,7 @@
 package pmu
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -25,8 +26,12 @@ func TestCatalogComplete(t *testing.T) {
 }
 
 func TestInfoAndByName(t *testing.T) {
-	if Info(DtlbMiss).Name != "DtlbMiss" {
-		t.Errorf("Info(DtlbMiss).Name = %q", Info(DtlbMiss).Name)
+	info, err := Info(DtlbMiss)
+	if err != nil {
+		t.Fatalf("Info(DtlbMiss): %v", err)
+	}
+	if info.Name != "DtlbMiss" {
+		t.Errorf("Info(DtlbMiss).Name = %q", info.Name)
 	}
 	id, ok := ByName("LdBlkOlp")
 	if !ok || id != LdBlkOlp {
@@ -35,12 +40,14 @@ func TestInfoAndByName(t *testing.T) {
 	if _, ok := ByName("nonsense"); ok {
 		t.Error("ByName of unknown name should fail")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Info with invalid id should panic")
+}
+
+func TestInfoInvalidID(t *testing.T) {
+	for _, id := range []EventID{-1, NumEvents, 999} {
+		if _, err := Info(id); !errors.Is(err, ErrInvalidEvent) {
+			t.Errorf("Info(%d) err = %v, want ErrInvalidEvent", id, err)
 		}
-	}()
-	Info(EventID(999))
+	}
 }
 
 func TestSchemaMatchesCatalog(t *testing.T) {

@@ -1,0 +1,88 @@
+package robust
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// PendingFile is an output file being staged for atomic replacement: a
+// temp file in the destination's directory that only reaches the
+// destination path on Commit. An interrupted or failed run that Aborts
+// (or simply exits) leaves the destination untouched — readers never see
+// a torn result file.
+type PendingFile struct {
+	f    *os.File
+	path string // final destination
+	done bool
+}
+
+// CreateAtomic stages a write to path. Write through the returned
+// PendingFile, then Commit; Abort (safe to defer unconditionally) discards
+// the staged content.
+func CreateAtomic(path string) (*PendingFile, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("robust: staging %s: %w", path, err)
+	}
+	return &PendingFile{f: f, path: path}, nil
+}
+
+// Write implements io.Writer on the staged temp file.
+func (p *PendingFile) Write(b []byte) (int, error) { return p.f.Write(b) }
+
+// Commit flushes the staged content to stable storage and renames it into
+// place. After Commit the PendingFile is spent; further calls are no-ops.
+func (p *PendingFile) Commit() error {
+	if p.done {
+		return nil
+	}
+	p.done = true
+	tmp := p.f.Name()
+	// Sync before rename: the rename must never make visible a file whose
+	// bytes are still only in the page cache of a crashed machine.
+	if err := p.f.Sync(); err != nil {
+		p.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("robust: syncing %s: %w", p.path, err)
+	}
+	if err := p.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("robust: closing %s: %w", p.path, err)
+	}
+	if err := os.Rename(tmp, p.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("robust: publishing %s: %w", p.path, err)
+	}
+	return nil
+}
+
+// Abort discards the staged content, leaving the destination untouched.
+// Safe to call after Commit (it does nothing then), so callers can
+// `defer p.Abort()` and Commit on the success path.
+func (p *PendingFile) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.f.Close()
+	os.Remove(p.f.Name())
+}
+
+// WriteFileAtomic writes data to path via a temp file + rename, the
+// whole-buffer convenience over CreateAtomic.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	p, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer p.Abort()
+	if err := p.f.Chmod(perm); err != nil {
+		return fmt.Errorf("robust: chmod %s: %w", path, err)
+	}
+	if _, err := p.Write(data); err != nil {
+		return fmt.Errorf("robust: writing %s: %w", path, err)
+	}
+	return p.Commit()
+}

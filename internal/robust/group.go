@@ -1,0 +1,106 @@
+package robust
+
+import (
+	"context"
+	"sync"
+)
+
+// Group runs a set of tasks on a bounded pool with first-error
+// cancellation and panic containment — a dependency-free errgroup shaped
+// for this repository's worker pools.
+//
+// Every task runs with a deferred recover: a panic is converted to a
+// *PanicError (stack attached), recorded as the group's error, and cancels
+// the group context so queued and cooperative in-flight siblings stop
+// early. Wait returns the first error (in completion order) after all
+// started tasks have finished; it never lets a worker panic escape to the
+// process.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{} // nil = unbounded
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a group whose tasks observe the derived context (it is
+// canceled on the first task error or panic, or when parent is canceled)
+// and a concurrency limit; limit <= 0 means unbounded.
+func NewGroup(parent context.Context, limit int) (*Group, context.Context) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	g := &Group{ctx: ctx, cancel: cancel}
+	if limit > 0 {
+		g.sem = make(chan struct{}, limit)
+	}
+	return g, ctx
+}
+
+// record stores the group's first error and cancels the rest.
+func (g *Group) record(err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// Go schedules fn on the pool. If the group is already canceled the task
+// is skipped entirely — the cheap cooperative check for queued work behind
+// a failed or canceled sibling.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		// Checked before and after the semaphore wait: select chooses
+		// randomly when both cases are ready, and a task that wins a slot
+		// on an already-canceled group must still be skipped.
+		if g.ctx.Err() != nil {
+			return
+		}
+		if g.sem != nil {
+			select {
+			case g.sem <- struct{}{}:
+				defer func() { <-g.sem }()
+			case <-g.ctx.Done():
+				return
+			}
+			if g.ctx.Err() != nil {
+				return
+			}
+		}
+		defer func() {
+			if pe := AsPanicError(recover()); pe != nil {
+				g.record(pe)
+			}
+		}()
+		g.record(fn())
+	}()
+}
+
+// Wait blocks until every scheduled task has returned, releases the
+// group's resources, and reports the first recorded error. When the
+// parent context was canceled and no task failed first, Wait returns the
+// (unwrapped) context error so callers can wrap it with stage context.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	err := g.err
+	g.mu.Unlock()
+	if err == nil {
+		// The group context is only canceled by record (which sets g.err
+		// first) or by the parent; err == nil plus a done context therefore
+		// means parent cancellation, which still fails the stage.
+		err = g.ctx.Err()
+	}
+	g.cancel()
+	return err
+}

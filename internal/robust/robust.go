@@ -1,0 +1,77 @@
+// Package robust is the pipeline's robustness layer: panic containment
+// for pooled goroutines, a dependency-free cancellable task group, and
+// atomic (temp-file + rename) output writing.
+//
+// The study pipeline (suite generation → M5' induction → compiled
+// prediction → transfer/characterization) is a long multi-stage run built
+// on several bounded worker pools. The contract this package enforces
+// everywhere is:
+//
+//   - a panic on any pooled goroutine is recovered, converted to an error
+//     carrying the panicking goroutine's stack, cancels its siblings, and
+//     fails the stage cleanly instead of crashing the process;
+//   - cancellation (context or first error) propagates to every sibling,
+//     and the stage surfaces ctx.Err() as a wrapped, inspectable error
+//     (errors.Is(err, context.Canceled) holds);
+//   - results that reach disk are complete: outputs are staged in a temp
+//     file in the destination directory and renamed into place only after
+//     a successful flush, so an interrupted run leaves either the old
+//     content or nothing — never a torn file.
+package robust
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// PanicError is a recovered panic converted into an error. Value is the
+// original panic value and Stack the stack of the goroutine that panicked,
+// captured at recovery point — the diagnostic a crashed worker would have
+// printed, attached to a clean error instead of a dead process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is available separately so
+// log-level formatting stays a caller decision.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value (panic(err) is common), so
+// errors.Is/As see through the containment.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoveredStackSize bounds the captured stack. One goroutine's stack
+// rarely exceeds a few KB of text; 64 KB keeps deep induction recursions
+// intact.
+const recoveredStackSize = 64 << 10
+
+// AsPanicError converts a recover() value into a *PanicError carrying the
+// current goroutine's stack. Returns nil when v is nil, so it can be
+// called unconditionally on the result of recover().
+func AsPanicError(v any) *PanicError {
+	if v == nil {
+		return nil
+	}
+	buf := make([]byte, recoveredStackSize)
+	buf = buf[:runtime.Stack(buf, false)]
+	return &PanicError{Value: v, Stack: buf}
+}
+
+// Safely runs fn, converting a panic into a returned *PanicError. This is
+// the single-goroutine form of the containment Group applies to pools.
+func Safely(fn func() error) (err error) {
+	defer func() {
+		if pe := AsPanicError(recover()); pe != nil {
+			err = pe
+		}
+	}()
+	return fn()
+}

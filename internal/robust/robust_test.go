@@ -1,0 +1,214 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSafelyPassesThrough(t *testing.T) {
+	want := errors.New("boom")
+	if err := Safely(func() error { return want }); err != want {
+		t.Fatalf("Safely returned %v, want %v", err, want)
+	}
+	if err := Safely(func() error { return nil }); err != nil {
+		t.Fatalf("Safely returned %v, want nil", err)
+	}
+}
+
+func TestSafelyConvertsPanic(t *testing.T) {
+	err := Safely(func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Safely returned %T, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "TestSafelyConvertsPanic") {
+		t.Errorf("stack does not mention the panicking frame:\n%s", pe.Stack)
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("inner")
+	err := Safely(func() error { panic(fmt.Errorf("wrapping: %w", sentinel)) })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is does not see through a panicked error: %v", err)
+	}
+}
+
+func TestGroupRunsAllTasks(t *testing.T) {
+	g, _ := NewGroup(context.Background(), 3)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 20 {
+		t.Errorf("ran %d tasks, want 20", n.Load())
+	}
+}
+
+func TestGroupFirstErrorCancelsSiblings(t *testing.T) {
+	g, ctx := NewGroup(context.Background(), 2)
+	want := errors.New("task failed")
+	g.Go(func() error { return want })
+	// A cooperative sibling that runs until canceled.
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("sibling was never canceled")
+		}
+	})
+	if err := g.Wait(); err != want {
+		t.Fatalf("Wait = %v, want %v", err, want)
+	}
+}
+
+func TestGroupContainsPanicAndCancels(t *testing.T) {
+	g, ctx := NewGroup(context.Background(), 4)
+	g.Go(func() error { panic("worker died") })
+	// The sibling either observes the cancellation or is skipped before it
+	// starts; if containment failed to cancel, the 5s branch fails Wait.
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("sibling was never canceled")
+		}
+	})
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %T %v, want *PanicError", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+}
+
+func TestGroupParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	g, ctx := NewGroup(parent, 2)
+	g.Go(func() error {
+		<-ctx.Done()
+		return nil
+	})
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+func TestGroupSkipsQueuedTasksAfterCancel(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, _ := NewGroup(parent, 1)
+	var ran atomic.Bool
+	g.Go(func() error { ran.Store(true); return nil })
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Error("task ran despite pre-canceled group")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomic(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("content = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+
+	// Overwrite must be atomic too.
+	if err := WriteFileAtomic(path, []byte("rewritten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "rewritten" {
+		t.Errorf("content after overwrite = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestPendingFileAbortLeavesDestinationUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write([]byte("half-writ")); err != nil {
+		t.Fatal(err)
+	}
+	p.Abort()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Errorf("aborted write changed destination: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestPendingFileCommitThenAbortIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	p, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("done")
+	if _, err := p.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p.Abort() // must not remove the committed file
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed file missing after Abort: %v", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// assertNoTempFiles fails if any staging temp file remains in dir — the
+// "interrupted runs leave no debris" half of the atomic-write contract.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("staging file left behind: %s", e.Name())
+		}
+	}
+}

@@ -37,7 +37,10 @@ func MeanCI(xs []float64, level float64) (Interval, error) {
 	}
 	m := Mean(xs)
 	se := StdDev(xs) / math.Sqrt(float64(n))
-	t := StudentTQuantile(0.5+level/2, float64(n-1))
+	t, err := StudentTQuantile(0.5+level/2, float64(n-1))
+	if err != nil {
+		return Interval{}, err
+	}
 	return Interval{Lo: m - t*se, Hi: m + t*se, Level: level}, nil
 }
 

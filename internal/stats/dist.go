@@ -1,6 +1,17 @@
 package stats
 
-import "math"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDomain is returned by the distribution functions when an argument
+// lies outside the function's mathematical domain (a probability outside
+// (0,1), non-positive degrees of freedom). Probabilities and degrees of
+// freedom routinely arrive from configuration and measured data, so a
+// domain violation is a diagnosable condition, not a programming error.
+var ErrDomain = errors.New("stats: argument outside the function's domain")
 
 // NormalCDF returns P(Z <= z) for a standard normal variable Z.
 func NormalCDF(z float64) float64 {
@@ -8,12 +19,18 @@ func NormalCDF(z float64) float64 {
 }
 
 // NormalQuantile returns the z such that NormalCDF(z) = p, using the
-// Acklam rational approximation refined with one Halley step. It panics if
-// p is outside (0, 1).
-func NormalQuantile(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("stats: NormalQuantile requires 0 < p < 1")
+// Acklam rational approximation refined with one Halley step. It returns
+// an error wrapping ErrDomain if p is outside (0, 1).
+func NormalQuantile(p float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return math.NaN(), fmt.Errorf("%w: NormalQuantile requires 0 < p < 1, got %v", ErrDomain, p)
 	}
+	return normalQuantile(p), nil
+}
+
+// normalQuantile is NormalQuantile for arguments already known to lie in
+// (0, 1).
+func normalQuantile(p float64) float64 {
 	// Coefficients from Peter Acklam's approximation (relative error < 1.15e-9).
 	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
 		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
@@ -124,11 +141,17 @@ func betaContinuedFraction(a, b, x float64) float64 {
 
 // StudentTCDF returns P(T <= t) for a Student-t variable with df degrees of
 // freedom. Non-integer df (as produced by the Welch-Satterthwaite
-// approximation) is supported.
-func StudentTCDF(t, df float64) float64 {
-	if df <= 0 {
-		panic("stats: StudentTCDF requires df > 0")
+// approximation) is supported. It returns an error wrapping ErrDomain if
+// df is not positive.
+func StudentTCDF(t, df float64) (float64, error) {
+	if !(df > 0) {
+		return math.NaN(), fmt.Errorf("%w: StudentTCDF requires df > 0, got %v", ErrDomain, df)
 	}
+	return studentTCDF(t, df), nil
+}
+
+// studentTCDF is StudentTCDF for df already known to be positive.
+func studentTCDF(t, df float64) float64 {
 	if math.IsInf(t, 1) {
 		return 1
 	}
@@ -144,15 +167,24 @@ func StudentTCDF(t, df float64) float64 {
 }
 
 // StudentTQuantile returns the t such that StudentTCDF(t, df) = p, found by
-// bisection on the monotone CDF.
-func StudentTQuantile(p, df float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("stats: StudentTQuantile requires 0 < p < 1")
+// bisection on the monotone CDF. It returns an error wrapping ErrDomain if
+// p is outside (0, 1) or df is not positive.
+func StudentTQuantile(p, df float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return math.NaN(), fmt.Errorf("%w: StudentTQuantile requires 0 < p < 1, got %v", ErrDomain, p)
 	}
+	if !(df > 0) {
+		return math.NaN(), fmt.Errorf("%w: StudentTQuantile requires df > 0, got %v", ErrDomain, df)
+	}
+	return studentTQuantile(p, df), nil
+}
+
+// studentTQuantile is StudentTQuantile for arguments already validated.
+func studentTQuantile(p, df float64) float64 {
 	lo, hi := -1e6, 1e6
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
-		if StudentTCDF(mid, df) < p {
+		if studentTCDF(mid, df) < p {
 			lo = mid
 		} else {
 			hi = mid

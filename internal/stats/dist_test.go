@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -24,27 +25,36 @@ func TestNormalCDFKnownValues(t *testing.T) {
 
 func TestNormalQuantileRoundTrip(t *testing.T) {
 	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
-		z := NormalQuantile(p)
+		z, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", p, err)
+		}
 		if got := NormalCDF(z); !almostEqual(got, p, 1e-10) {
 			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, got)
 		}
 	}
 	// The 97.5% point is the paper's 1.960 critical value.
-	if z := NormalQuantile(0.975); !almostEqual(z, 1.95996, 1e-4) {
+	if z, _ := NormalQuantile(0.975); !almostEqual(z, 1.95996, 1e-4) {
 		t.Errorf("NormalQuantile(0.975) = %v, want 1.95996", z)
 	}
 }
 
-func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
-	for _, p := range []float64{0, 1, -0.5, 2} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NormalQuantile(%v) did not panic", p)
-				}
-			}()
-			NormalQuantile(p)
-		}()
+func TestDistributionDomainErrors(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		if _, err := NormalQuantile(p); !errors.Is(err, ErrDomain) {
+			t.Errorf("NormalQuantile(%v) err = %v, want ErrDomain", p, err)
+		}
+		if _, err := StudentTQuantile(p, 5); !errors.Is(err, ErrDomain) {
+			t.Errorf("StudentTQuantile(%v, 5) err = %v, want ErrDomain", p, err)
+		}
+	}
+	for _, df := range []float64{0, -1, math.NaN()} {
+		if _, err := StudentTCDF(1, df); !errors.Is(err, ErrDomain) {
+			t.Errorf("StudentTCDF(1, %v) err = %v, want ErrDomain", df, err)
+		}
+		if _, err := StudentTQuantile(0.5, df); !errors.Is(err, ErrDomain) {
+			t.Errorf("StudentTQuantile(0.5, %v) err = %v, want ErrDomain", df, err)
+		}
 	}
 }
 
@@ -59,17 +69,21 @@ func TestStudentTCDFKnownValues(t *testing.T) {
 		{1.960, 1e6, 0.975}, // converges to normal for large df
 	}
 	for _, c := range cases {
-		if got := StudentTCDF(c.t, c.df); !almostEqual(got, c.want, 5e-4) {
+		got, err := StudentTCDF(c.t, c.df)
+		if err != nil {
+			t.Fatalf("StudentTCDF(%v, %v): %v", c.t, c.df, err)
+		}
+		if !almostEqual(got, c.want, 5e-4) {
 			t.Errorf("StudentTCDF(%v, %v) = %.5f, want %.5f", c.t, c.df, got, c.want)
 		}
 	}
 }
 
 func TestStudentTCDFInfinity(t *testing.T) {
-	if got := StudentTCDF(math.Inf(1), 5); got != 1 {
+	if got, _ := StudentTCDF(math.Inf(1), 5); got != 1 {
 		t.Errorf("StudentTCDF(+Inf) = %v, want 1", got)
 	}
-	if got := StudentTCDF(math.Inf(-1), 5); got != 0 {
+	if got, _ := StudentTCDF(math.Inf(-1), 5); got != 0 {
 		t.Errorf("StudentTCDF(-Inf) = %v, want 0", got)
 	}
 }
@@ -77,8 +91,11 @@ func TestStudentTCDFInfinity(t *testing.T) {
 func TestStudentTQuantileRoundTrip(t *testing.T) {
 	for _, df := range []float64{1, 3, 10, 100} {
 		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.975} {
-			q := StudentTQuantile(p, df)
-			if got := StudentTCDF(q, df); !almostEqual(got, p, 1e-6) {
+			q, err := StudentTQuantile(p, df)
+			if err != nil {
+				t.Fatalf("StudentTQuantile(%v, %v): %v", p, df, err)
+			}
+			if got, _ := StudentTCDF(q, df); !almostEqual(got, p, 1e-6) {
 				t.Errorf("StudentTCDF(StudentTQuantile(%v, df=%v)) = %v", p, df, got)
 			}
 		}
@@ -126,7 +143,11 @@ func TestCDFMonotonicityProperty(t *testing.T) {
 			x, y = y, x
 		}
 		for _, df := range []float64{2, 30} {
-			px, py := StudentTCDF(x, df), StudentTCDF(y, df)
+			px, errX := StudentTCDF(x, df)
+			py, errY := StudentTCDF(y, df)
+			if errX != nil || errY != nil {
+				return false
+			}
 			if px < 0 || py > 1 || px > py+1e-12 {
 				return false
 			}
@@ -142,7 +163,10 @@ func TestCDFMonotonicityProperty(t *testing.T) {
 // Property: Student-t converges to the normal as df grows.
 func TestStudentTNormalConvergence(t *testing.T) {
 	for _, z := range []float64{-2, -0.5, 0.3, 1.7} {
-		tv := StudentTCDF(z, 1e7)
+		tv, err := StudentTCDF(z, 1e7)
+		if err != nil {
+			t.Fatalf("StudentTCDF(%v, 1e7): %v", z, err)
+		}
 		nv := NormalCDF(z)
 		if !almostEqual(tv, nv, 1e-5) {
 			t.Errorf("StudentTCDF(%v, 1e7) = %v, NormalCDF = %v", z, tv, nv)

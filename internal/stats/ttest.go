@@ -30,10 +30,13 @@ func (r TestResult) RejectAt(alpha float64) bool { return r.PValue < alpha }
 // distribution at level alpha: the paper compares |t| against 1.960 for
 // large samples at 95%.
 func (r TestResult) CriticalValue(alpha float64) float64 {
-	if r.DF > 0 {
-		return StudentTQuantile(1-alpha/2, r.DF)
+	if !(alpha > 0 && alpha < 1) {
+		return math.NaN()
 	}
-	return NormalQuantile(1 - alpha/2)
+	if r.DF > 0 {
+		return studentTQuantile(1-alpha/2, r.DF)
+	}
+	return normalQuantile(1 - alpha/2)
 }
 
 // String renders the result in the style used by EXPERIMENTS.md.
@@ -242,10 +245,13 @@ func absDeviations(xs []float64, center float64) []float64 {
 }
 
 func twoSidedTP(t, df float64) float64 {
+	if !(df > 0) {
+		return math.NaN()
+	}
 	if math.IsInf(t, 0) {
 		return 0
 	}
-	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	p := 2 * (1 - studentTCDF(math.Abs(t), df))
 	if p < 0 {
 		p = 0
 	}
@@ -283,7 +289,10 @@ func TTestPower(delta, sd float64, n1, n2 int, alpha float64) (float64, error) {
 	}
 	se := sd * math.Sqrt(1/float64(n1)+1/float64(n2))
 	ncp := math.Abs(delta) / se // noncentrality
-	zcrit := NormalQuantile(1 - alpha/2)
+	zcrit, err := NormalQuantile(1 - alpha/2)
+	if err != nil {
+		return 0, err
+	}
 	// P(reject) = P(Z > zcrit - ncp) + P(Z < -zcrit - ncp).
 	return (1 - NormalCDF(zcrit-ncp)) + NormalCDF(-zcrit-ncp), nil
 }

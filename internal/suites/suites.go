@@ -14,11 +14,13 @@
 package suites
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"specchar/internal/dataset"
+	"specchar/internal/faultinject"
 	"specchar/internal/pmu"
+	"specchar/internal/robust"
 	"specchar/internal/trace"
 	"specchar/internal/uarch"
 )
@@ -142,6 +144,14 @@ func DefaultGenOptions() GenOptions {
 // and returns the resulting dataset, one labeled sample per measurement
 // interval, in deterministic order.
 func Generate(s *Suite, opts GenOptions) (*dataset.Dataset, error) {
+	return GenerateContext(context.Background(), s, opts)
+}
+
+// GenerateContext is Generate with cooperative cancellation: benchmark
+// workers stop at sample boundaries once the context is canceled and a
+// wrapped ctx.Err() is returned; a panicking benchmark worker is contained
+// (stack attached), cancels its siblings, and fails generation cleanly.
+func GenerateContext(ctx context.Context, s *Suite, opts GenOptions) (*dataset.Dataset, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -161,26 +171,28 @@ func Generate(s *Suite, opts GenOptions) (*dataset.Dataset, error) {
 	}
 
 	results := make([][]dataset.Sample, len(s.Benchmarks))
-	errs := make([]error, len(s.Benchmarks))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
+	g, gctx := robust.NewGroup(ctx, par)
 	for i := range s.Benchmarks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		i := i
+		g.Go(func() error {
+			faultinject.Sleep("suites.generate.bench")
+			faultinject.CheckPanic("suites.generate.bench")
+			if err := faultinject.Check("suites.generate.bench"); err != nil {
+				return fmt.Errorf("suites: generating %s: %w", s.Benchmarks[i].Name, err)
+			}
 			// Seed derived from benchmark index, not scheduling order, so
 			// parallel generation stays deterministic.
 			seed := opts.Seed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)
-			results[i], errs[i] = generateBenchmark(&s.Benchmarks[i], cfg, opts, seed)
-		}(i)
+			samples, err := generateBenchmark(gctx, &s.Benchmarks[i], cfg, opts, seed)
+			if err != nil {
+				return fmt.Errorf("suites: generating %s: %w", s.Benchmarks[i].Name, err)
+			}
+			results[i] = samples
+			return nil
+		})
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("suites: generating %s: %w", s.Benchmarks[i].Name, err)
-		}
+	if err := g.Wait(); err != nil {
+		return nil, fmt.Errorf("suites: generation: %w", err)
 	}
 	d := dataset.New(pmu.Schema())
 	for _, samples := range results {
@@ -193,8 +205,10 @@ func Generate(s *Suite, opts GenOptions) (*dataset.Dataset, error) {
 	return d, nil
 }
 
-// generateBenchmark simulates one benchmark and returns its samples.
-func generateBenchmark(b *Benchmark, cfg uarch.Config, opts GenOptions, seed uint64) ([]dataset.Sample, error) {
+// generateBenchmark simulates one benchmark and returns its samples. It
+// checks ctx at sample boundaries — one sample spans Windows() simulated
+// multiplexing windows, the natural quantum of the simulation loop.
+func generateBenchmark(ctx context.Context, b *Benchmark, cfg uarch.Config, opts GenOptions, seed uint64) ([]dataset.Sample, error) {
 	rng := dataset.NewRNG(seed)
 	var core, sibling *uarch.Core
 	var err error
@@ -253,6 +267,9 @@ func generateBenchmark(b *Benchmark, cfg uarch.Config, opts GenOptions, seed uin
 		}
 		winBuf := make([]pmu.Counts, windows)
 		for s := 0; s < counts[pi]; s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for w := 0; w < windows; w++ {
 				if sibling != nil {
 					// The sibling thread executes alongside; only this

@@ -17,6 +17,7 @@
 package transfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -85,10 +86,31 @@ type Predictor interface {
 	PredictDatasetChecked(d *dataset.Dataset) ([]float64, error)
 }
 
+// ContextPredictor is the cancellable refinement of Predictor. Both
+// *mtree.Tree and *mtree.CompiledTree satisfy it; AssessContext uses it
+// when available so a canceled context stops the prediction pass at a
+// chunk boundary rather than after the whole test set is scored.
+type ContextPredictor interface {
+	PredictDatasetCheckedContext(ctx context.Context, d *dataset.Dataset) ([]float64, error)
+}
+
 // Assess applies the model to the test set and runs the full battery.
 // train must be the dataset the model was trained on (its response sample
 // is the L1 of Section VI); test is L2.
 func Assess(model Predictor, train, test *dataset.Dataset, trainName, testName string, opts Options) (*Assessment, error) {
+	return AssessContext(context.Background(), model, train, test, trainName, testName, opts)
+}
+
+// AssessContext is Assess with cooperative cancellation: the prediction
+// pass observes the context when the model supports it (ContextPredictor),
+// and a canceled context is returned as a wrapped ctx.Err().
+func AssessContext(ctx context.Context, model Predictor, train, test *dataset.Dataset, trainName, testName string, opts Options) (*Assessment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transfer: assessment canceled: %w", err)
+	}
 	if train.Len() < 2 || test.Len() < 2 {
 		return nil, errors.New("transfer: need at least two samples on each side")
 	}
@@ -116,7 +138,12 @@ func Assess(model Predictor, train, test *dataset.Dataset, trainName, testName s
 	if a.SampleTest, err = stats.TwoSampleTTest(trainY, testY); err != nil {
 		return nil, err
 	}
-	pred, err := model.PredictDatasetChecked(test)
+	var pred []float64
+	if cp, ok := model.(ContextPredictor); ok {
+		pred, err = cp.PredictDatasetCheckedContext(ctx, test)
+	} else {
+		pred, err = model.PredictDatasetChecked(test)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("transfer: applying %s model to %s: %w", trainName, testName, err)
 	}
@@ -214,14 +241,27 @@ type SweepPoint struct {
 // Sweep runs TrainFractionSweep over the fractions with a deterministic
 // split per fraction.
 func Sweep(d *dataset.Dataset, fractions []float64, treeOpts mtree.Options, seed uint64) ([]SweepPoint, error) {
+	return SweepContext(context.Background(), d, fractions, treeOpts, seed)
+}
+
+// SweepContext is Sweep with cooperative cancellation: each fraction's
+// induction and scoring observe the context, and a canceled context is
+// returned as a wrapped ctx.Err() with the completed points discarded.
+func SweepContext(ctx context.Context, d *dataset.Dataset, fractions []float64, treeOpts mtree.Options, seed uint64) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]SweepPoint, 0, len(fractions))
 	for i, f := range fractions {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("transfer: sweep canceled at fraction %.3f: %w", f, err)
+		}
 		rng := dataset.NewRNG(seed + uint64(i)*1469598103934665603)
 		train, test := d.Split(rng, f)
 		if train.Len() < 10 || test.Len() < 10 {
 			return nil, fmt.Errorf("transfer: fraction %.3f leaves too few samples", f)
 		}
-		tree, err := mtree.Build(train, treeOpts)
+		tree, err := mtree.BuildContext(ctx, train, treeOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +271,7 @@ func Sweep(d *dataset.Dataset, fractions []float64, treeOpts mtree.Options, seed
 		if err != nil {
 			return nil, err
 		}
-		pred, err := ctree.PredictDatasetChecked(test)
+		pred, err := ctree.PredictDatasetCheckedContext(ctx, test)
 		if err != nil {
 			return nil, err
 		}

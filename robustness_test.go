@@ -1,0 +1,111 @@
+package specchar
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"specchar/internal/dataset"
+	"specchar/internal/suites"
+)
+
+// tinyGen returns generation options small enough that the robustness
+// integration tests run in a couple of seconds.
+func tinyGen() Config {
+	cfg := QuickConfig()
+	cfg.Gen.SamplesPerBenchmark = 20
+	cfg.Gen.OpsPerWindow = 256
+	cfg.Gen.WarmupOps = 2000
+	return cfg
+}
+
+// A Study must complete on a corrupted dataset ingested under the
+// quarantine policy, with the damage counted and reported — the paper's
+// long collection campaigns must survive a few bad rows. The same bytes
+// must still hard-fail under the default fail-fast policy.
+func TestStudyFromQuarantinedDatasets(t *testing.T) {
+	cfg := tinyGen()
+	cpu, err := suites.Generate(suites.CPU2006(), cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := suites.Generate(suites.OMP2001(), cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize the CPU suite and damage three data rows: a NaN value, a
+	// truncated row, and an unparseable value.
+	var buf bytes.Buffer
+	if err := cpu.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("corpus too small to corrupt: %d lines", len(lines))
+	}
+	corruptNaN := strings.Split(lines[5], ",")
+	corruptNaN[2] = "NaN"
+	lines[5] = strings.Join(corruptNaN, ",")
+	truncated := strings.Split(lines[10], ",")
+	lines[10] = strings.Join(truncated[:len(truncated)-2], ",")
+	garbled := strings.Split(lines[15], ",")
+	garbled[len(garbled)-1] = "not-a-number"
+	lines[15] = strings.Join(garbled, ",")
+	corrupted := strings.Join(lines, "\n") + "\n"
+
+	if _, err := dataset.ReadCSV(strings.NewReader(corrupted)); err == nil {
+		t.Fatal("fail-fast ingest accepted a corrupted dataset")
+	}
+	cpuQ, rep, err := dataset.ReadCSVWith(strings.NewReader(corrupted),
+		dataset.ReadOptions{Policy: dataset.Quarantine, Source: "cpu2006.csv"})
+	if err != nil {
+		t.Fatalf("quarantine ingest failed: %v", err)
+	}
+	if rep.Total != 3 {
+		t.Fatalf("quarantined %d rows, want 3 (%v)", rep.Total, rep.Rows)
+	}
+	if cpuQ.Len() != cpu.Len()-3 {
+		t.Fatalf("accepted %d rows, want %d", cpuQ.Len(), cpu.Len()-3)
+	}
+
+	study, err := StudyFromDatasets(cfg, cpuQ, omp)
+	if err != nil {
+		t.Fatalf("study on quarantined dataset: %v", err)
+	}
+	if study.CPUTree == nil || study.OMPTree == nil || study.CPUModelCompiled == nil {
+		t.Fatal("study incomplete")
+	}
+	if _, err := study.AssessTransfer("cpu->omp"); err != nil {
+		t.Fatalf("assessment on quarantined study: %v", err)
+	}
+	t.Logf("study completed over damaged ingest: %s", rep)
+}
+
+// RunContext must surface a cancellation from any stage of the pipeline
+// as a wrapped, inspectable context.Canceled.
+func TestRunContextCancel(t *testing.T) {
+	cfg := tinyGen()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel2()
+	}()
+	_, err := RunContext(ctx2, cfg)
+	cancel2()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run err = %v, want context.Canceled or nil", err)
+	}
+	if err == nil {
+		t.Log("pipeline outran the cancel; cancellation not exercised mid-run")
+	}
+}

@@ -15,6 +15,8 @@
 package specchar
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"specchar/internal/dataset"
@@ -98,18 +100,53 @@ type Study struct {
 // expensive call (seconds at DefaultConfig scale); everything downstream
 // reuses its artifacts.
 func NewStudy(cfg Config) (*Study, error) {
-	s := &Study{Config: cfg}
-	var err error
-	if s.CPU, err = suites.Generate(suites.CPU2006(), cfg.Gen); err != nil {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is the cancellable pipeline entry point: NewStudy with
+// cooperative cancellation through suite generation and all four tree
+// inductions. A canceled context stops the in-flight stage at its next
+// chunk boundary and is returned as a wrapped, inspectable error
+// (errors.Is(err, context.Canceled)); a panic on any pooled worker is
+// contained and returned as an error instead of crashing the process.
+func RunContext(ctx context.Context, cfg Config) (*Study, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cpu, err := suites.GenerateContext(ctx, suites.CPU2006(), cfg.Gen)
+	if err != nil {
 		return nil, fmt.Errorf("specchar: generating CPU2006: %w", err)
 	}
-	if s.OMP, err = suites.Generate(suites.OMP2001(), cfg.Gen); err != nil {
+	omp, err := suites.GenerateContext(ctx, suites.OMP2001(), cfg.Gen)
+	if err != nil {
 		return nil, fmt.Errorf("specchar: generating OMP2001: %w", err)
 	}
-	if s.CPUTree, err = mtree.Build(s.CPU, cfg.Tree); err != nil {
+	return StudyFromDatasetsContext(ctx, cfg, cpu, omp)
+}
+
+// StudyFromDatasets trains all four trees over caller-supplied suite
+// datasets instead of generating them — the entry point for studies over
+// externally measured data, including corrupted datasets ingested with
+// dataset.ReadOptions{Policy: dataset.Quarantine}.
+func StudyFromDatasets(cfg Config, cpu, omp *dataset.Dataset) (*Study, error) {
+	return StudyFromDatasetsContext(context.Background(), cfg, cpu, omp)
+}
+
+// StudyFromDatasetsContext is StudyFromDatasets with cooperative
+// cancellation through every induction and compilation.
+func StudyFromDatasetsContext(ctx context.Context, cfg Config, cpu, omp *dataset.Dataset) (*Study, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cpu == nil || omp == nil {
+		return nil, errors.New("specchar: both suite datasets are required")
+	}
+	s := &Study{Config: cfg, CPU: cpu, OMP: omp}
+	var err error
+	if s.CPUTree, err = mtree.BuildContext(ctx, s.CPU, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building CPU2006 tree: %w", err)
 	}
-	if s.OMPTree, err = mtree.Build(s.OMP, cfg.Tree); err != nil {
+	if s.OMPTree, err = mtree.BuildContext(ctx, s.OMP, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building OMP2001 tree: %w", err)
 	}
 	frac := cfg.TrainFraction
@@ -118,10 +155,10 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	s.CPUTrain, s.CPUTest = s.CPU.StratifiedSplit(dataset.NewRNG(cfg.SplitSeed), frac)
 	s.OMPTrain, s.OMPTest = s.OMP.StratifiedSplit(dataset.NewRNG(cfg.SplitSeed^0xD1CE), frac)
-	if s.CPUModel, err = mtree.Build(s.CPUTrain, cfg.Tree); err != nil {
+	if s.CPUModel, err = mtree.BuildContext(ctx, s.CPUTrain, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building CPU2006 transfer model: %w", err)
 	}
-	if s.OMPModel, err = mtree.Build(s.OMPTrain, cfg.Tree); err != nil {
+	if s.OMPModel, err = mtree.BuildContext(ctx, s.OMPTrain, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building OMP2001 transfer model: %w", err)
 	}
 	if s.CPUTreeCompiled, err = s.CPUTree.Compile(); err != nil {
@@ -155,15 +192,21 @@ func (s *Study) CoreConfig() uarch.Config {
 //	"omp->omp"  OMP2001 10% model on held-out OMP2001 data (transferable)
 //	"omp->cpu"  OMP2001 model on CPU2006 data (not transferable)
 func (s *Study) AssessTransfer(direction string) (*transfer.Assessment, error) {
+	return s.AssessTransferContext(context.Background(), direction)
+}
+
+// AssessTransferContext is AssessTransfer with cooperative cancellation
+// through the prediction pass.
+func (s *Study) AssessTransferContext(ctx context.Context, direction string) (*transfer.Assessment, error) {
 	switch direction {
 	case "cpu->cpu":
-		return transfer.Assess(s.CPUModelCompiled, s.CPUTrain, s.CPUTest, "SPEC CPU2006 (10%)", "SPEC CPU2006 (held out)", transfer.Options{})
+		return transfer.AssessContext(ctx, s.CPUModelCompiled, s.CPUTrain, s.CPUTest, "SPEC CPU2006 (10%)", "SPEC CPU2006 (held out)", transfer.Options{})
 	case "cpu->omp":
-		return transfer.Assess(s.CPUModelCompiled, s.CPUTrain, s.OMPTrain, "SPEC CPU2006 (10%)", "SPEC OMP2001", transfer.Options{})
+		return transfer.AssessContext(ctx, s.CPUModelCompiled, s.CPUTrain, s.OMPTrain, "SPEC CPU2006 (10%)", "SPEC OMP2001", transfer.Options{})
 	case "omp->omp":
-		return transfer.Assess(s.OMPModelCompiled, s.OMPTrain, s.OMPTest, "SPEC OMP2001 (10%)", "SPEC OMP2001 (held out)", transfer.Options{})
+		return transfer.AssessContext(ctx, s.OMPModelCompiled, s.OMPTrain, s.OMPTest, "SPEC OMP2001 (10%)", "SPEC OMP2001 (held out)", transfer.Options{})
 	case "omp->cpu":
-		return transfer.Assess(s.OMPModelCompiled, s.OMPTrain, s.CPUTrain, "SPEC OMP2001 (10%)", "SPEC CPU2006", transfer.Options{})
+		return transfer.AssessContext(ctx, s.OMPModelCompiled, s.OMPTrain, s.CPUTrain, "SPEC OMP2001 (10%)", "SPEC CPU2006", transfer.Options{})
 	}
 	return nil, fmt.Errorf("specchar: unknown transfer direction %q", direction)
 }
