@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"specchar"
+	"specchar/internal/obs"
+	"specchar/internal/profiling"
 	"specchar/internal/robust"
 )
 
@@ -40,11 +42,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+strings.Join(specchar.Experiments(), ", ")+")")
-		quickFlag = flag.Bool("quick", false, "reduced-scale run (fast, noisier)")
-		outFlag   = flag.String("o", "", "write the report to this file instead of stdout")
-		seedFlag  = flag.Uint64("seed", 0, "override the data-generation seed (0 keeps the default)")
-		dotDir    = flag.String("dotdir", "", "also write figure1.dot / figure2.dot Graphviz files to this directory")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+strings.Join(specchar.Experiments(), ", ")+")")
+		quickFlag  = flag.Bool("quick", false, "reduced-scale run (fast, noisier)")
+		outFlag    = flag.String("o", "", "write the report to this file instead of stdout")
+		seedFlag   = flag.Uint64("seed", 0, "override the data-generation seed (0 keeps the default)")
+		dotDir     = flag.String("dotdir", "", "also write figure1.dot / figure2.dot Graphviz files to this directory")
+		logJSON    = flag.Bool("log-json", false, "stream the span trace as JSON Lines to stderr")
+		obsOut     = flag.String("obs-out", "", "write the deterministic end-of-run manifest (JSON) to this file")
+		metricsOut = flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit")
+		bundleFlag = flag.String("profile-bundle", "", "capture CPU/heap profiles, span trace, manifest and metrics together under this directory")
 	)
 	flag.Parse()
 
@@ -61,8 +67,32 @@ func main() {
 		ids = strings.Split(*expFlag, ",")
 	}
 
+	tracePath, cpuPath, memPath := "", "", ""
+	if *bundleFlag != "" {
+		bp, err := profiling.Bundle(*bundleFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpuPath, memPath, tracePath = bp.CPU, bp.Mem, bp.Trace
+		if *obsOut == "" {
+			*obsOut = bp.Manifest
+		}
+		if *metricsOut == "" {
+			*metricsOut = bp.Metrics
+		}
+	}
+	stopProfiling, err := profiling.Start(cpuPath, memPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsRun, err := obs.StartCLIRun("experiments", os.Args[1:], *logJSON, tracePath, *obsOut, *metricsOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = obsRun.Context(ctx)
 
 	// The report streams into a staged temp file; it is renamed into place
 	// on success — or on interruption, carrying only the experiments that
@@ -83,6 +113,14 @@ func main() {
 		if err == nil {
 			return
 		}
+		// Flush observability and profiles before any exit so a canceled
+		// run still leaves a usable trace, manifest and profile behind.
+		if oerr := obsRun.Finish(); oerr != nil {
+			log.Print(oerr)
+		}
+		if perr := stopProfiling(); perr != nil {
+			log.Print(perr)
+		}
 		if errors.Is(err, context.Canceled) {
 			if pending != nil {
 				if cerr := pending.Commit(); cerr != nil {
@@ -98,6 +136,12 @@ func main() {
 	start := time.Now()
 	study, err := specchar.RunContext(ctx, cfg)
 	finish(err)
+	if obsRun.Enabled() {
+		if merr := obsRun.Manifest.SetConfig(cfg); merr != nil {
+			log.Print(merr)
+		}
+		study.Describe(obsRun.Manifest)
+	}
 	fmt.Fprintf(out, "specchar experiment run (%d CPU2006 samples, %d OMP2001 samples; setup %.1fs)\n\n",
 		study.CPU.Len(), study.OMP.Len(), time.Since(start).Seconds())
 	for _, id := range ids {
@@ -125,5 +169,11 @@ func main() {
 		if err := pending.Commit(); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := obsRun.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProfiling(); err != nil {
+		log.Fatal(err)
 	}
 }

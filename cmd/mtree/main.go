@@ -8,6 +8,8 @@
 //	mtree -data suite.csv [-test held.csv | -holdout 0.3]
 //	      [-minleaf 4] [-maxdepth 0] [-noprune] [-nosmooth] [-splits]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	      [-log-json] [-obs-out manifest.json] [-metrics-out metrics.prom]
+//	      [-profile-bundle dir]
 //
 // The dataset format: first column "label", last column the response,
 // numeric predictors between (see internal/dataset).
@@ -27,6 +29,7 @@ import (
 	"specchar/internal/dataset"
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
+	"specchar/internal/obs"
 	"specchar/internal/profiling"
 	"specchar/internal/robust"
 )
@@ -54,6 +57,10 @@ func main() {
 		seedFlag    = flag.Uint64("seed", 1, "seed for -holdout splitting and -cv folds")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		logJSON     = flag.Bool("log-json", false, "stream the span trace as JSON Lines to stderr")
+		obsOut      = flag.String("obs-out", "", "write the deterministic end-of-run manifest (JSON) to this file")
+		metricsOut  = flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit")
+		bundleFlag  = flag.String("profile-bundle", "", "capture CPU/heap profiles, span trace, manifest and metrics together under this directory")
 	)
 	flag.Parse()
 	if *dataFlag == "" {
@@ -61,7 +68,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	tracePath := ""
+	if *bundleFlag != "" {
+		bp, err := profiling.Bundle(*bundleFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *cpuProfile == "" {
+			*cpuProfile = bp.CPU
+		}
+		if *memProfile == "" {
+			*memProfile = bp.Mem
+		}
+		if *obsOut == "" {
+			*obsOut = bp.Manifest
+		}
+		if *metricsOut == "" {
+			*metricsOut = bp.Metrics
+		}
+		tracePath = bp.Trace
+	}
 	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsRun, err := obs.StartCLIRun("mtree", os.Args[1:], *logJSON, tracePath, *obsOut, *metricsOut)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,17 +100,18 @@ func main() {
 	// unwind at the next chunk boundary and staged files are discarded.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = obsRun.Context(ctx)
 	// log.Fatal would skip the profile flush, so the body runs in a
 	// closure and every failure funnels through one exit path.
 	run := func() error {
-		train, err := readDataset(*dataFlag)
+		train, err := readDataset(*dataFlag, obsRun.Recorder)
 		if err != nil {
 			return err
 		}
 		var test *dataset.Dataset
 		switch {
 		case *testFlag != "":
-			if test, err = readDataset(*testFlag); err != nil {
+			if test, err = readDataset(*testFlag, obsRun.Recorder); err != nil {
 				return err
 			}
 		case *holdoutFlag > 0 && *holdoutFlag < 1:
@@ -126,6 +158,13 @@ func main() {
 				return err
 			}
 		}
+		if obsRun.Enabled() {
+			obsRun.Manifest.AddDataset(train.Shape("train"))
+			if test != nil {
+				obsRun.Manifest.AddDataset(test.Shape("test"))
+			}
+			obsRun.Manifest.AddTree(tree.Summarize("mtree"))
+		}
 		fmt.Printf("trained on %d samples (%d attributes): %d leaf models, depth %d\n\n",
 			train.Len(), train.Schema.NumAttrs(), tree.NumLeaves(), tree.Depth())
 		fmt.Print(tree.Render())
@@ -151,7 +190,7 @@ func main() {
 			// Evaluation runs on the compiled flat-array form; checked
 			// prediction keeps a mismatched -test schema a diagnostic, not
 			// a panic.
-			ctree, err := tree.Compile()
+			ctree, err := tree.CompileContext(ctx)
 			if err != nil {
 				return err
 			}
@@ -184,6 +223,9 @@ func main() {
 	}
 
 	err = run()
+	if oerr := obsRun.Finish(); err == nil {
+		err = oerr
+	}
 	if perr := stopProfiling(); err == nil {
 		err = perr
 	}
@@ -197,17 +239,19 @@ func main() {
 }
 
 // readDataset loads a CSV or ARFF file, deciding by extension then
-// falling back to content sniffing.
-func readDataset(path string) (*dataset.Dataset, error) {
+// falling back to content sniffing. The recorder (nil when observability
+// is off) gives each read its "dataset.ingest" span.
+func readDataset(path string, rec *obs.Recorder) (*dataset.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	opts := dataset.ReadOptions{Source: path, Obs: rec}
 	var d *dataset.Dataset
 	if strings.HasSuffix(strings.ToLower(path), ".arff") {
-		d, err = dataset.ReadARFF(f)
+		d, _, err = dataset.ReadARFFWith(f, opts)
 	} else {
-		d, err = dataset.ReadCSV(f)
+		d, _, err = dataset.ReadCSVWith(f, opts)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

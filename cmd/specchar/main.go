@@ -31,6 +31,7 @@ import (
 	"specchar/internal/dataset"
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
+	"specchar/internal/obs"
 	"specchar/internal/profiling"
 	"specchar/internal/robust"
 	"specchar/internal/suites"
@@ -41,19 +42,54 @@ import (
 // following the shell convention of 128 + signal number (SIGINT = 2).
 const exitInterrupted = 130
 
+// obsRun carries the invocation's observability state (recorder, trace
+// sinks, manifest) from main to the subcommands that describe their
+// artifacts into the manifest.
+var obsRun *obs.CLIRun
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specchar: ")
 	// Top-level flags precede the subcommand: specchar -cpuprofile p tree ...
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	logJSON := flag.Bool("log-json", false, "stream the span trace as JSON Lines to stderr")
+	obsOut := flag.String("obs-out", "", "write the deterministic end-of-run manifest (JSON) to this file")
+	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit")
+	profileBundle := flag.String("profile-bundle", "", "capture CPU/heap profiles, span trace, manifest and metrics together under this directory")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+	// A -profile-bundle fills every capture path the user left unset, so
+	// one flag yields pprof profiles and the span trace of the same run.
+	tracePath := ""
+	if *profileBundle != "" {
+		bp, err := profiling.Bundle(*profileBundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *cpuProfile == "" {
+			*cpuProfile = bp.CPU
+		}
+		if *memProfile == "" {
+			*memProfile = bp.Mem
+		}
+		if *obsOut == "" {
+			*obsOut = bp.Manifest
+		}
+		if *metricsOut == "" {
+			*metricsOut = bp.Metrics
+		}
+		tracePath = bp.Trace
+	}
 	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsRun, err = obs.StartCLIRun("specchar", os.Args[1:], *logJSON, tracePath, *obsOut, *metricsOut)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +100,7 @@ func main() {
 	// the context is done).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = obsRun.Context(ctx)
 	switch cmd {
 	case "events":
 		fmt.Print(specchar.Table1())
@@ -90,6 +127,9 @@ func main() {
 	default:
 		usage()
 	}
+	if oerr := obsRun.Finish(); err == nil {
+		err = oerr
+	}
 	if perr := stopProfiling(); err == nil {
 		err = perr
 	}
@@ -103,7 +143,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: specchar [-cpuprofile file] [-memprofile file] <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: specchar [-cpuprofile file] [-memprofile file] [-log-json]
+                [-obs-out file] [-metrics-out file] [-profile-bundle dir]
+                <command> [flags]
 
 commands:
   events        print the PMU event catalog (the paper's Table I)
@@ -120,6 +162,18 @@ commands:
 
 run 'specchar <command> -h' for command flags`)
 	os.Exit(2)
+}
+
+// describeStudy records the run's configuration and artifacts into the
+// manifest; published by Finish when -obs-out (or -profile-bundle) is set.
+func describeStudy(cfg specchar.Config, study *specchar.Study) {
+	if !obsRun.Enabled() {
+		return
+	}
+	if err := obsRun.Manifest.SetConfig(cfg); err != nil {
+		log.Print(err)
+	}
+	study.Describe(obsRun.Manifest)
 }
 
 // suiteByName resolves a -suite flag value.
@@ -163,6 +217,9 @@ func runDatagen(ctx context.Context, args []string) error {
 	d, err := suites.GenerateContext(ctx, s, genOptions(*quickFlag, *seedFlag))
 	if err != nil {
 		return err
+	}
+	if obsRun.Enabled() {
+		obsRun.Manifest.AddDataset(d.Shape(s.Name))
 	}
 	if *statsFlag {
 		sums, err := d.AttrSummaries()
@@ -236,6 +293,10 @@ func runTree(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if obsRun.Enabled() {
+		obsRun.Manifest.AddDataset(train.Shape(s.Name))
+		obsRun.Manifest.AddTree(tree.Summarize(s.Name))
+	}
 	fmt.Printf("%s: %d samples, %d leaf models, depth %d\n\n", s.Name, train.Len(), tree.NumLeaves(), tree.Depth())
 	fmt.Print(tree.Render())
 	fmt.Println()
@@ -284,7 +345,11 @@ func runCharacterize(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	ctree, err := tree.Compile()
+	if obsRun.Enabled() {
+		obsRun.Manifest.AddDataset(d.Shape(s.Name))
+		obsRun.Manifest.AddTree(tree.Summarize(s.Name))
+	}
+	ctree, err := tree.CompileContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -320,6 +385,7 @@ func runTransfer(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	describeStudy(cfg, study)
 	// Assessments print as they complete, so an interrupt mid-battery
 	// still leaves every finished assessment on screen.
 	for _, dir := range specchar.Directions() {
@@ -347,6 +413,7 @@ func runSubset(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	describeStudy(cfg, study)
 	r, err := study.SelectSubset(*suiteFlag, *kFlag)
 	if err != nil {
 		return err
@@ -368,6 +435,7 @@ func runCompare(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	describeStudy(cfg, study)
 	report, err := study.ModelComparisonReport()
 	if err != nil {
 		return err
@@ -391,6 +459,7 @@ func runBench(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	describeStudy(cfg, study)
 	names := []string{*nameFlag}
 	if *nameFlag == "" {
 		d := study.CPU
@@ -423,6 +492,7 @@ func runStudyReport(ctx context.Context, args []string, report func(*specchar.St
 	if err != nil {
 		return err
 	}
+	describeStudy(cfg, study)
 	out, err := report(study)
 	if err != nil {
 		return err

@@ -1,0 +1,34 @@
+package specchar_test
+
+import (
+	"fmt"
+
+	"specchar"
+)
+
+// Example runs the reproduction pipeline end to end at reduced scale:
+// generate both suites, train the trees, and run the paper's Section VI
+// battery on the within-suite pairing (a model trained on 10% of SPEC
+// CPU2006, applied to the held-out 90%). QuickConfig trades measurement
+// windows for speed, so the distribution-level hypothesis tests pass
+// while the strict C/MAE accuracy thresholds need the full
+// DefaultConfig scale — see EXPERIMENTS.md for the paper-scale numbers.
+func Example() {
+	study, err := specchar.NewStudy(specchar.QuickConfig())
+	if err != nil {
+		panic(err)
+	}
+	a, err := study.AssessTransfer("cpu->cpu")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CPU2006 samples: %d across %d benchmarks\n",
+		study.CPU.Len(), len(study.CPU.Labels()))
+	fmt.Printf("OMP2001 samples: %d across %d benchmarks\n",
+		study.OMP.Len(), len(study.OMP.Labels()))
+	fmt.Printf("cpu->cpu hypothesis tests pass: %v\n", a.HypothesisTransferable())
+	// Output:
+	// CPU2006 samples: 1228 across 29 benchmarks
+	// OMP2001 samples: 460 across 11 benchmarks
+	// cpu->cpu hypothesis tests pass: true
+}

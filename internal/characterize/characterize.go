@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"specchar/internal/dataset"
+	"specchar/internal/obs"
 	"specchar/internal/tables"
 )
 
@@ -85,6 +86,10 @@ func ProfileOfContext(ctx context.Context, model Classifier, d *dataset.Dataset,
 	if d.Len() == 0 {
 		return Profile{}, ErrEmpty
 	}
+	sctx, span := obs.FromContext(ctx).StartSpan(ctx, "characterize.profile", obs.A("name", name))
+	span.SetRows(d.Len())
+	defer span.End()
+	ctx = sctx
 	var leafIDs []int
 	var err error
 	if cc, ok := model.(ContextClassifier); ok {
@@ -127,6 +132,10 @@ func SuiteProfilesContext(ctx context.Context, model Classifier, d *dataset.Data
 	if len(labels) == 0 {
 		return nil, ErrEmpty
 	}
+	sctx, span := obs.FromContext(ctx).StartSpan(ctx, "characterize.suite", obs.A("benchmarks", len(labels)))
+	span.SetRows(d.Len())
+	defer span.End()
+	ctx = sctx
 	out := make([]Profile, 0, len(labels)+2)
 	for _, label := range labels {
 		if err := ctx.Err(); err != nil {

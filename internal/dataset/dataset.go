@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"specchar/internal/obs"
 	"specchar/internal/stats"
 )
 
@@ -130,6 +131,19 @@ func (d *Dataset) Labels() []string {
 		}
 	}
 	return out
+}
+
+// Shape describes the dataset for a run manifest: sample count, schema
+// width, distinct-label count and the response name, under the given
+// dataset name. Everything in the shape is deterministic.
+func (d *Dataset) Shape(name string) obs.DatasetShape {
+	return obs.DatasetShape{
+		Name:     name,
+		Samples:  d.Len(),
+		Attrs:    d.Schema.NumAttrs(),
+		Labels:   len(d.Labels()),
+		Response: d.Schema.Response,
+	}
 }
 
 // FilterLabel returns a dataset view containing only samples with the

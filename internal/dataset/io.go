@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"specchar/internal/faultinject"
+	"specchar/internal/obs"
 )
 
 // BadRowPolicy selects how the dataset readers treat rows that fail to
@@ -32,6 +33,27 @@ const (
 type ReadOptions struct {
 	Policy BadRowPolicy
 	Source string // name used in the quarantine report, e.g. a file path
+
+	// Obs, when non-nil, records a "dataset.ingest" span per read (rows =
+	// accepted samples) and counts quarantined rows on the
+	// specchar_ingest_quarantined_rows_total counter. The readers take no
+	// context, so the recorder rides in the options instead.
+	Obs *obs.Recorder
+}
+
+// ingestSpan opens the ingest span for one read and returns the closer
+// that stamps the outcome. Safe on a nil recorder.
+func (o ReadOptions) ingestSpan(format string, rep *QuarantineReport) func() {
+	_, span := o.Obs.StartSpan(nil, "dataset.ingest",
+		obs.A("format", format), obs.A("source", o.Source))
+	return func() {
+		span.SetRows(rep.Accepted)
+		if rep.Total > 0 {
+			o.Obs.Counter("specchar_ingest_quarantined_rows_total").Add(int64(rep.Total))
+			span.SetAttr("quarantined", rep.Total)
+		}
+		span.End()
+	}
 }
 
 // maxQuarantineDetail bounds the per-row detail retained in a report;
@@ -123,6 +145,7 @@ func ReadCSVWith(r io.Reader, opts ReadOptions) (*Dataset, *QuarantineReport, er
 	}
 	d := New(schema)
 	rep := &QuarantineReport{Source: opts.Source}
+	defer opts.ingestSpan("csv", rep)()
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -216,6 +239,7 @@ func ReadARFFWith(r io.Reader, opts ReadOptions) (*Dataset, *QuarantineReport, e
 	var inData bool
 	var d *Dataset
 	rep := &QuarantineReport{Source: opts.Source}
+	defer opts.ingestSpan("arff", rep)()
 	line := 0
 	for sc.Scan() {
 		line++

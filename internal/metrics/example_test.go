@@ -1,0 +1,27 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"specchar/internal/metrics"
+)
+
+// ExampleCompute scores a prediction vector against ground truth and
+// applies the paper's Section VI-B acceptance thresholds
+// (C >= 0.85, MAE <= 0.15).
+func ExampleCompute() {
+	actual := []float64{1.0, 2.0, 3.0, 4.0}
+	predicted := []float64{1.1, 2.1, 3.1, 4.1} // constant +0.1 bias
+
+	rep, err := metrics.Compute(predicted, actual)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("C   = %.3f\n", rep.Correlation)
+	fmt.Printf("MAE = %.3f\n", rep.MAE)
+	fmt.Printf("acceptable: %v\n", metrics.PaperThresholds().Acceptable(rep))
+	// Output:
+	// C   = 1.000
+	// MAE = 0.100
+	// acceptable: true
+}

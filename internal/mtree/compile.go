@@ -36,6 +36,7 @@ import (
 
 	"specchar/internal/dataset"
 	"specchar/internal/linreg"
+	"specchar/internal/obs"
 )
 
 // CompiledTree is the flat, immutable evaluation form of a Tree. All
@@ -72,6 +73,18 @@ type CompiledTree struct {
 // attributes or model terms outside the schema) — anything Build or
 // ReadJSON produces compiles.
 func (t *Tree) Compile() (*CompiledTree, error) {
+	return t.CompileContext(context.Background())
+}
+
+// CompileContext is Compile under an observability context: it emits an
+// "mtree.compile" span with a child covering the lowering walk —
+// "mtree.compile.smooth" when the smoothing blend is being folded in,
+// "mtree.compile.emit" otherwise. Compilation itself is not cancelable
+// (it is a single in-memory walk); the context carries the recorder only.
+func (t *Tree) CompileContext(ctx context.Context) (*CompiledTree, error) {
+	rec := obs.FromContext(ctx)
+	sctx, span := rec.StartSpan(ctx, "mtree.compile", obs.A("smooth", t.Opts.Smooth))
+	defer span.End()
 	if t.Schema == nil || t.Root == nil {
 		return nil, errors.New("mtree: cannot compile a tree without schema or root")
 	}
@@ -155,7 +168,17 @@ func (t *Tree) Compile() (*CompiledTree, error) {
 		}
 		return idx
 	}
+	lowerPhase := "mtree.compile.emit"
+	if t.Opts.Smooth {
+		lowerPhase = "mtree.compile.smooth"
+	}
+	_, sp := rec.StartSpan(sctx, lowerPhase)
 	c.rootRef = emit(t.Root, make([]float64, w), 0, 1)
+	sp.End()
+	if rec.Enabled() {
+		span.SetAttr("leaves", leaves)
+		span.SetAttr("interior", interior)
+	}
 	return c, nil
 }
 
@@ -317,8 +340,13 @@ func (c *CompiledTree) PredictDataset(d *dataset.Dataset) []float64 {
 // boundary, so a canceled context returns a wrapped ctx.Err() within one
 // chunk of work; a panicking worker is contained and returned as an error.
 func (c *CompiledTree) PredictDatasetContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
+	workers := effectiveWorkers(c.Workers)
+	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.predict",
+		obs.A("compiled", true), obs.A("workers", workers))
+	span.SetRows(d.Len())
+	defer span.End()
 	out := make([]float64, d.Len())
-	err := forRangesCtx(ctx, d.Len(), effectiveWorkers(c.Workers), "mtree.predict.chunk", func(lo, hi int) {
+	err := forRangesCtx(ctx, d.Len(), workers, "mtree.predict.chunk", func(lo, hi int) {
 		sc, flat := c.copyRows(d, lo, hi)
 		w := c.width
 		for r, i := 0, lo; i < hi; r, i = r+1, i+1 {
@@ -365,8 +393,12 @@ func (c *CompiledTree) ClassifyLeaves(d *dataset.Dataset) []int {
 // ClassifyLeavesContext is ClassifyLeaves with cooperative cancellation at
 // chunk boundaries.
 func (c *CompiledTree) ClassifyLeavesContext(ctx context.Context, d *dataset.Dataset) ([]int, error) {
+	workers := effectiveWorkers(c.Workers)
+	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.classify", obs.A("workers", workers))
+	span.SetRows(d.Len())
+	defer span.End()
 	out := make([]int, d.Len())
-	err := forRangesCtx(ctx, d.Len(), effectiveWorkers(c.Workers), "mtree.predict.chunk", func(lo, hi int) {
+	err := forRangesCtx(ctx, d.Len(), workers, "mtree.predict.chunk", func(lo, hi int) {
 		sc, flat := c.copyRows(d, lo, hi)
 		w := c.width
 		for r, i := 0, lo; i < hi; r, i = r+1, i+1 {

@@ -8,6 +8,7 @@ import (
 
 	"specchar/internal/dataset"
 	"specchar/internal/faultinject"
+	"specchar/internal/obs"
 	"specchar/internal/robust"
 )
 
@@ -50,6 +51,11 @@ func CrossValidateContext(ctx context.Context, d *dataset.Dataset, k int, opts O
 	if n < 2*k {
 		return nil, fmt.Errorf("mtree: %d samples too few for %d folds", n, k)
 	}
+	rec := obs.FromContext(ctx)
+	sctx, span := rec.StartSpan(ctx, "mtree.cv", obs.A("folds", k))
+	span.SetRows(n)
+	defer span.End()
+	ctx = sctx
 	perm := dataset.NewRNG(seed).Perm(n)
 	res := &CVResult{
 		Folds:    k,
@@ -64,6 +70,8 @@ func CrossValidateContext(ctx context.Context, d *dataset.Dataset, k int, opts O
 	for fold := 0; fold < k; fold++ {
 		fold := fold
 		g.Go(func() error {
+			fctx, fspan := rec.StartSpan(gctx, "mtree.cv.fold", obs.A("fold", fold))
+			defer fspan.End()
 			faultinject.Sleep("mtree.cv.fold")
 			faultinject.CheckPanic("mtree.cv.fold")
 			if err := faultinject.Check("mtree.cv.fold"); err != nil {
@@ -78,18 +86,19 @@ func CrossValidateContext(ctx context.Context, d *dataset.Dataset, k int, opts O
 					train.Samples = append(train.Samples, d.Samples[idx])
 				}
 			}
-			tree, err := BuildContext(gctx, train, opts)
+			tree, err := BuildContext(fctx, train, opts)
 			if err != nil {
 				return fmt.Errorf("mtree: fold %d: %w", fold, err)
 			}
 			// Score the fold on the compiled form: each fold's tree is
 			// built once and scores many samples, the compiled path's
 			// sweet spot.
-			ctree, err := tree.Compile()
+			ctree, err := tree.CompileContext(fctx)
 			if err != nil {
 				return fmt.Errorf("mtree: fold %d: %w", fold, err)
 			}
-			preds, err := ctree.PredictDatasetContext(gctx, test)
+			fspan.SetRows(test.Len())
+			preds, err := ctree.PredictDatasetContext(fctx, test)
 			if err != nil {
 				return fmt.Errorf("mtree: fold %d: %w", fold, err)
 			}

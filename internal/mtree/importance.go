@@ -8,6 +8,7 @@ import (
 
 	"specchar/internal/dataset"
 	"specchar/internal/faultinject"
+	"specchar/internal/obs"
 	"specchar/internal/robust"
 )
 
@@ -55,6 +56,10 @@ func (t *Tree) PermutationImportanceContext(ctx context.Context, d *dataset.Data
 	if rounds < 1 {
 		rounds = 1
 	}
+	sctx, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.importance", obs.A("rounds", rounds))
+	span.SetRows(n)
+	defer span.End()
+	ctx = sctx
 	// Importance evaluates rounds × attributes full dataset passes — by
 	// far the hottest prediction loop in the package — so it runs on the
 	// compiled form. The base MAE uses the same form, keeping the
@@ -62,7 +67,7 @@ func (t *Tree) PermutationImportanceContext(ctx context.Context, d *dataset.Data
 	// malformed hand-built trees; those fall back to interpreted
 	// prediction.
 	predict := t.Predict
-	if ctree, err := t.Compile(); err == nil {
+	if ctree, err := t.CompileContext(ctx); err == nil {
 		predict = ctree.Predict
 	}
 	var baseAbs float64

@@ -30,6 +30,7 @@ import (
 	"specchar/internal/dataset"
 	"specchar/internal/faultinject"
 	"specchar/internal/linreg"
+	"specchar/internal/obs"
 	"specchar/internal/robust"
 )
 
@@ -161,6 +162,12 @@ func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree,
 		opts.MinSplit = 2 * opts.MinLeaf
 	}
 	n := d.Len()
+	workers := effectiveWorkers(opts.Workers)
+	rec := obs.FromContext(ctx)
+	sctx, span := rec.StartSpan(ctx, "mtree.build",
+		obs.A("samples", n), obs.A("attrs", d.Schema.NumAttrs()), obs.A("workers", workers))
+	span.SetRows(n)
+	defer span.End()
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	b := &builder{
@@ -173,9 +180,14 @@ func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree,
 		opts:   opts,
 		ctx:    bctx,
 		cancel: cancel,
+		// Pool metrics: the lift count is scheduling-dependent, hence
+		// volatile (Prometheus only, never the manifest); occupancy is a
+		// high-water gauge. Both are nil (free) on a disabled recorder.
+		lifts: rec.VolatileCounter("specchar_pool_lifted_forks_total"),
+		occ:   rec.Gauge("specchar_pool_occupancy_peak"),
 	}
-	if w := effectiveWorkers(opts.Workers); w > 1 {
-		b.sem = make(chan struct{}, w-1)
+	if workers > 1 {
+		b.sem = make(chan struct{}, workers-1)
 	}
 	rootSD := popSDRange(b.ys, 0, n)
 	b.sdStop = rootSD * opts.SDThresholdFrac
@@ -185,10 +197,16 @@ func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree,
 	// the same containment forkJoin gives the lifted half. forkJoin joins
 	// before returning, so no worker outlives this call.
 	if err := robust.Safely(func() error {
+		_, sp := rec.StartSpan(sctx, "mtree.build.grow")
 		root = b.grow(0, n, 0)
+		sp.End()
+		_, sp = rec.StartSpan(sctx, "mtree.build.fit")
 		b.fitModels(root, 0, n)
+		sp.End()
 		if opts.Prune {
+			_, sp = rec.StartSpan(sctx, "mtree.build.prune")
 			b.prune(root, 0, n)
+			sp.End()
 		}
 		return nil
 	}); err != nil {
@@ -202,6 +220,12 @@ func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree,
 	}
 	t := &Tree{Schema: d.Schema, Root: root, Opts: opts}
 	t.numberLeaves()
+	if rec.Enabled() {
+		span.SetAttr("leaves", t.NumLeaves())
+		span.SetAttr("depth", t.Depth())
+		rec.Gauge("specchar_tree_leaves").Set(float64(t.NumLeaves()))
+		rec.Gauge("specchar_tree_nodes").Set(float64(t.NumNodes()))
+	}
 	return t, nil
 }
 
@@ -234,6 +258,11 @@ type builder struct {
 	cancel  context.CancelFunc
 	failMu  sync.Mutex
 	failErr error
+
+	// Observability handles, nil when recording is disabled (every
+	// method on them is then a no-op after one nil check).
+	lifts *obs.Counter
+	occ   *obs.Gauge
 }
 
 // fail records the first worker error and cancels the siblings.
@@ -291,6 +320,8 @@ func (b *builder) forkJoin(size int, left, right func()) {
 	if b.sem != nil && size >= parallelNodeThreshold {
 		select {
 		case b.sem <- struct{}{}:
+			b.lifts.Add(1)
+			b.occ.SetMax(float64(len(b.sem)))
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
@@ -807,8 +838,13 @@ func (t *Tree) PredictDataset(d *dataset.Dataset) []float64 {
 // chunk boundaries: a canceled context returns a wrapped ctx.Err() and a
 // panicking scoring worker is contained and returned as an error.
 func (t *Tree) PredictDatasetContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
+	workers := effectiveWorkers(t.Opts.Workers)
+	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.predict",
+		obs.A("compiled", false), obs.A("workers", workers))
+	span.SetRows(d.Len())
+	defer span.End()
 	out := make([]float64, d.Len())
-	err := forRangesCtx(ctx, d.Len(), effectiveWorkers(t.Opts.Workers), "mtree.predict.chunk", func(lo, hi int) {
+	err := forRangesCtx(ctx, d.Len(), workers, "mtree.predict.chunk", func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = t.Predict(d.Samples[i].X)
 		}
@@ -851,6 +887,39 @@ func (t *Tree) PredictDatasetCheckedContext(ctx context.Context, d *dataset.Data
 		return nil, err
 	}
 	return t.PredictDatasetContext(ctx, d)
+}
+
+// NumNodes returns the total node count of the pointer tree, interior
+// plus leaves.
+func (t *Tree) NumNodes() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n.IsLeaf() {
+			return 1
+		}
+		return 1 + walk(n.Left) + walk(n.Right)
+	}
+	return walk(t.Root)
+}
+
+// Summarize describes the trained tree for a run manifest: structural
+// size plus the split attributes in breadth-first first-appearance order
+// (the paper's factor-importance reading). Everything in the summary is
+// deterministic for a fixed training configuration.
+func (t *Tree) Summarize(name string) obs.TreeSummary {
+	var attrs []string
+	for _, a := range t.SplitAttributes() {
+		if a >= 0 && a < len(t.Schema.Attributes) {
+			attrs = append(attrs, t.Schema.Attributes[a])
+		}
+	}
+	return obs.TreeSummary{
+		Name:       name,
+		Leaves:     t.NumLeaves(),
+		Nodes:      t.NumNodes(),
+		Depth:      t.Depth(),
+		SplitAttrs: attrs,
+	}
 }
 
 // Depth returns the maximum depth of the tree (a lone root has depth 1).

@@ -92,11 +92,11 @@ func FuzzReadJSON(f *testing.F) {
 	}
 	f.Add(buf.String())
 	// Structural corruptions the decoder must reject without panicking.
-	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1},"left":{"model":{"Intercept":0}}}}`)        // one child
-	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1,"Coef":[2],"Terms":[5]}}}`)                  // term out of range
-	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1,"Coef":[2,3],"Terms":[0]}}}`)                // coef/terms mismatch
+	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1},"left":{"model":{"Intercept":0}}}}`)                                                                // one child
+	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1,"Coef":[2],"Terms":[5]}}}`)                                                                          // term out of range
+	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1,"Coef":[2,3],"Terms":[0]}}}`)                                                                        // coef/terms mismatch
 	f.Add(`{"version":1,"schema":{"Response":"y","Attributes":["a","b"]},"options":{},"root":{"attr":7,"threshold":0.5,"left":{"model":{"Intercept":0}},"right":{"model":{"Intercept":1}},"model":{"Intercept":1}}}`) // split attr out of range
-	f.Add(`{"version":99,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1}}}`)                                        // wrong version
+	f.Add(`{"version":99,"schema":{"Response":"y","Attributes":["a"]},"options":{},"root":{"model":{"Intercept":1}}}`)                                                                                                // wrong version
 	f.Add(`{"version":1}`)
 	f.Add(`{}`)
 	f.Add(``)

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"os"
+
+	"specchar/internal/robust"
+)
+
+// CLIRun bundles the observability choreography every CLI repeats: build
+// the recorder from the flag values, own the trace sink lifecycle, and
+// publish the manifest and metrics files at exit. The zero configuration
+// (no flags set) yields a nil Recorder — the disabled state — at which
+// point Context and Finish are no-ops and the run pays nothing.
+type CLIRun struct {
+	// Recorder is nil when no observability flag was set.
+	Recorder *Recorder
+	// Manifest is always non-nil so commands can describe their artifacts
+	// unconditionally; it is only published when an -obs-out path was
+	// given.
+	Manifest *Manifest
+
+	stderrTrace *JSONLSink
+	fileTrace   *JSONLSink
+	obsOut      string
+	metricsOut  string
+}
+
+// StartCLIRun builds the per-invocation observability state. logJSON
+// streams the span trace to stderr; tracePath (usually from a profile
+// bundle) streams it to a file as well; obsOut and metricsOut name the
+// manifest and Prometheus files Finish publishes. With every argument
+// zero the run is disabled and Recorder stays nil.
+func StartCLIRun(tool string, args []string, logJSON bool, tracePath, obsOut, metricsOut string) (*CLIRun, error) {
+	c := &CLIRun{
+		Manifest:   NewManifest(tool, args),
+		obsOut:     obsOut,
+		metricsOut: metricsOut,
+	}
+	if !logJSON && tracePath == "" && obsOut == "" && metricsOut == "" {
+		return c, nil
+	}
+	var sinks []Sink
+	if logJSON {
+		c.stderrTrace = NewJSONLSink(os.Stderr)
+		sinks = append(sinks, c.stderrTrace)
+	}
+	if tracePath != "" {
+		s, err := OpenJSONLFile(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		c.fileTrace = s
+		sinks = append(sinks, s)
+	}
+	c.Recorder = New(sinks...)
+	return c, nil
+}
+
+// Context attaches the run's recorder to the context; unchanged when the
+// run is disabled.
+func (c *CLIRun) Context(ctx context.Context) context.Context {
+	if c == nil || c.Recorder == nil {
+		return ctx
+	}
+	return WithRecorder(ctx, c.Recorder)
+}
+
+// Enabled reports whether any observability output was requested.
+func (c *CLIRun) Enabled() bool { return c != nil && c.Recorder != nil }
+
+// Finish flushes the trace sinks and publishes the manifest and metrics
+// files that were requested. It returns the first error; call it on
+// every exit path, after the workload but before deciding the exit code.
+func (c *CLIRun) Finish() error {
+	if c == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.stderrTrace != nil {
+		keep(c.stderrTrace.Flush())
+	}
+	if c.fileTrace != nil {
+		keep(c.fileTrace.Close())
+	}
+	if c.Recorder != nil && c.obsOut != "" {
+		c.Manifest.Finish(c.Recorder)
+		keep(c.Manifest.WriteFile(c.obsOut))
+	}
+	if c.Recorder != nil && c.metricsOut != "" {
+		var b bytes.Buffer
+		keep(c.Recorder.WritePrometheus(&b))
+		if first == nil {
+			keep(robust.WriteFileAtomic(c.metricsOut, b.Bytes(), 0o644))
+		}
+	}
+	return first
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"specchar/internal/robust"
+)
+
+// DatasetShape describes one dataset an artifact-producing run consumed
+// or produced: enough to reproduce and sanity-check it, nothing tied to
+// wall-clock.
+type DatasetShape struct {
+	Name     string `json:"name"`
+	Samples  int    `json:"samples"`
+	Attrs    int    `json:"attrs"`
+	Labels   int    `json:"labels,omitempty"` // distinct benchmark labels
+	Response string `json:"response,omitempty"`
+}
+
+// TreeSummary describes one trained model tree.
+type TreeSummary struct {
+	Name       string   `json:"name"`
+	Leaves     int      `json:"leaves"`
+	Nodes      int      `json:"nodes"`
+	Depth      int      `json:"depth"`
+	SplitAttrs []string `json:"split_attrs,omitempty"` // breadth-first first-appearance order
+}
+
+// Manifest is the deterministic end-of-run record: what was run (tool
+// and arguments), with what configuration and seeds, over which data,
+// producing which models, through which stages. For a fixed
+// configuration and seed, two runs produce manifests whose CanonicalJSON
+// is byte-identical — the wall-clock fields (CreatedAt, per-stage
+// WallMS, gauges) are the only run-to-run variance, and the canonical
+// form zeroes them.
+type Manifest struct {
+	Tool      string   `json:"tool"`
+	Args      []string `json:"args,omitempty"`
+	CreatedAt string   `json:"created_at,omitempty"` // RFC 3339; zeroed in canonical form
+
+	// Config is the run's full configuration, marshaled by the facade or
+	// CLI that owns it (encoding/json emits struct fields in declaration
+	// order and map keys sorted, so this is deterministic).
+	Config json.RawMessage `json:"config,omitempty"`
+
+	Datasets []DatasetShape `json:"datasets,omitempty"`
+	Trees    []TreeSummary  `json:"trees,omitempty"`
+
+	// Stages, Counters and Gauges are filled from the Recorder by Finish.
+	Stages   []StageStat        `json:"stages,omitempty"`
+	Counters map[string]int64   `json:"counters,omitempty"` // deterministic counters only
+	Gauges   map[string]float64 `json:"gauges,omitempty"`   // wall-clock/scheduling-dependent; dropped in canonical form
+}
+
+// NewManifest starts a manifest for the named tool; args are the
+// command-line arguments (or nil for library runs).
+func NewManifest(tool string, args []string) *Manifest {
+	return &Manifest{Tool: tool, Args: args}
+}
+
+// SetConfig marshals v into the manifest's Config section.
+func (m *Manifest) SetConfig(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("obs: marshaling manifest config: %w", err)
+	}
+	m.Config = b
+	return nil
+}
+
+// AddDataset appends one dataset description.
+func (m *Manifest) AddDataset(d DatasetShape) { m.Datasets = append(m.Datasets, d) }
+
+// AddTree appends one tree summary.
+func (m *Manifest) AddTree(t TreeSummary) { m.Trees = append(m.Trees, t) }
+
+// Finish stamps the manifest and folds in the recorder's stage
+// aggregates, deterministic counters and gauges. A nil recorder leaves
+// those sections empty; the manifest is still valid.
+func (m *Manifest) Finish(r *Recorder) {
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	m.Stages = r.StageStats()
+	m.Counters = r.Counters()
+	m.Gauges = r.Gauges()
+}
+
+// JSON renders the manifest as indented JSON, the on-disk form.
+func (m *Manifest) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshaling manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// CanonicalJSON renders the manifest with every wall-clock-dependent
+// field removed: CreatedAt emptied, per-stage WallMS zeroed, gauges
+// dropped. Two runs at the same configuration and seed yield
+// byte-identical canonical JSON; the determinism test and any
+// content-addressed caching key off this form.
+func (m *Manifest) CanonicalJSON() ([]byte, error) {
+	c := *m
+	c.CreatedAt = ""
+	c.Gauges = nil
+	c.Stages = make([]StageStat, len(m.Stages))
+	for i, st := range m.Stages {
+		st.WallMS = 0
+		c.Stages[i] = st
+	}
+	b, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshaling canonical manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile publishes the manifest atomically (temp file + fsync +
+// rename, via internal/robust): readers never observe a torn manifest,
+// and an interrupted run leaves any previous manifest untouched.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.JSON()
+	if err != nil {
+		return err
+	}
+	return robust.WriteFileAtomic(path, b, 0o644)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. Counters
+// registered through Recorder.Counter are deterministic for a fixed
+// configuration and appear in the manifest; scheduling-dependent counts
+// (pool lift decisions, retry counts) belong in VolatileCounter, which
+// exports to Prometheus but stays out of the deterministic manifest.
+// A nil *Counter (from a disabled recorder) accepts every method as a
+// no-op.
+type Counter struct {
+	v        atomic.Int64
+	volatile bool
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric with an atomic max variant for
+// high-water marks (worker-pool occupancy). Gauges are treated as
+// scheduling/timing-dependent: they export to Prometheus but are
+// excluded from the manifest's canonical form. Nil-safe like Counter.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v is larger (a high-water mark).
+// Nil-safe.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Counter returns (registering on first use) the named deterministic
+// counter. Metric names should follow Prometheus conventions
+// (snake_case, unit-suffixed, `_total` for counters). Nil-safe: a
+// disabled recorder returns a nil counter whose methods no-op.
+func (r *Recorder) Counter(name string) *Counter {
+	return r.counter(name, false)
+}
+
+// VolatileCounter is Counter for values that legitimately vary run to
+// run at a fixed configuration (scheduling-dependent counts). Volatile
+// counters appear in the Prometheus export but are excluded from
+// Manifest.Counters, keeping the manifest byte-deterministic.
+func (r *Recorder) VolatileCounter(name string) *Counter {
+	return r.counter(name, true)
+}
+
+func (r *Recorder) counter(name string, volatile bool) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{volatile: volatile}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge. Nil-safe.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Counters returns the deterministic counters as a name→value map
+// (volatile counters excluded); nil when disabled or empty.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[string]int64
+	for name, c := range r.counters {
+		if c.volatile {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns every gauge as a name→value map; nil when disabled or
+// empty.
+func (r *Recorder) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[string]float64
+	for name, g := range r.gauges {
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by metric name: the registered counters
+// and gauges, plus three derived per-stage families —
+// specchar_stage_runs_total, specchar_stage_rows_total and
+// specchar_stage_wall_seconds_total, labeled by stage, with
+// specchar_stage_rows_per_second computed for stages that reported rows.
+// Nil-safe (writes nothing when disabled).
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	r.mu.Lock()
+	counterNames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counterNames = append(counterNames, name)
+	}
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(counterNames)
+	sort.Strings(gaugeNames)
+
+	for _, name := range counterNames {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, r.counter(name, false).Value())
+	}
+	for _, name := range gaugeNames {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(r.Gauge(name).Value()))
+	}
+
+	stages := r.StageStats()
+	if len(stages) > 0 {
+		fmt.Fprintf(&b, "# TYPE specchar_stage_runs_total counter\n")
+		for _, st := range stages {
+			fmt.Fprintf(&b, "specchar_stage_runs_total{stage=%q} %d\n", st.Name, st.Count)
+		}
+		fmt.Fprintf(&b, "# TYPE specchar_stage_rows_total counter\n")
+		for _, st := range stages {
+			fmt.Fprintf(&b, "specchar_stage_rows_total{stage=%q} %d\n", st.Name, st.Rows)
+		}
+		fmt.Fprintf(&b, "# TYPE specchar_stage_wall_seconds_total counter\n")
+		for _, st := range stages {
+			fmt.Fprintf(&b, "specchar_stage_wall_seconds_total{stage=%q} %s\n", st.Name, formatFloat(st.WallMS/1e3))
+		}
+		fmt.Fprintf(&b, "# TYPE specchar_stage_rows_per_second gauge\n")
+		for _, st := range stages {
+			if st.Rows == 0 || st.WallMS <= 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "specchar_stage_rows_per_second{stage=%q} %s\n", st.Name, formatFloat(float64(st.Rows)/(st.WallMS/1e3)))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}

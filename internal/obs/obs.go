@@ -1,0 +1,281 @@
+// Package obs is the pipeline's observability layer: hierarchical spans
+// over every stage (generation, ingest, induction phases, compilation,
+// batch prediction, cross-validation, transfer, characterization),
+// counters and gauges with a Prometheus text exporter, and a
+// deterministic end-of-run manifest. It is dependency-free and designed
+// around one invariant: a *nil* Recorder is the disabled state, every
+// method is nil-safe, and the disabled path costs a context lookup and a
+// handful of nil checks per *stage* (never per row), so instrumented hot
+// paths are indistinguishable from uninstrumented ones.
+//
+// The recorder travels through the pipeline inside a context
+// (WithRecorder / FromContext), so the existing Context entry points
+// carry it without signature changes:
+//
+//	rec := obs.New(obs.NewJSONLSink(os.Stderr))
+//	ctx := obs.WithRecorder(context.Background(), rec)
+//	study, err := specchar.RunContext(ctx, cfg)   // stages emit spans
+//
+// Spans form a tree: StartSpan derives a child context carrying the new
+// span, so any stage started under that context becomes a child. Ending
+// a span emits one event to every sink and folds the span into the
+// recorder's per-stage aggregates (count, rows, wall time), which feed
+// the manifest and the Prometheus export.
+//
+// Three sink families cover the use cases: JSONLSink streams one JSON
+// object per event (the machine-readable trace), MemorySink retains
+// events for tests, and no sinks at all still aggregates stage stats
+// (the manifest-only configuration). See DESIGN.md §9 for the span
+// taxonomy and event schema.
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values should be simple
+// JSON-encodable types (string, int, float64, bool).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A constructs an Attr; it exists to keep call sites one token wide.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Recorder is the observability hub: it hands out spans, counters and
+// gauges, fans span-end events out to its sinks, and aggregates
+// per-stage statistics for the manifest and the metrics export. All
+// methods are safe for concurrent use, and all methods are nil-safe —
+// a nil *Recorder is the disabled recorder.
+type Recorder struct {
+	mu    sync.Mutex
+	sinks []Sink
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	stages   map[string]*StageStat
+
+	nextSpanID atomic.Uint64
+	start      time.Time
+	now        func() time.Time // injectable clock for tests
+}
+
+// New returns an enabled Recorder fanning events out to the given sinks.
+// No sinks is a valid configuration: stage aggregates, counters and
+// gauges still accumulate for the manifest and Prometheus export.
+func New(sinks ...Sink) *Recorder {
+	r := &Recorder{
+		sinks:    sinks,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		stages:   make(map[string]*StageStat),
+		now:      time.Now,
+	}
+	r.start = r.now()
+	return r
+}
+
+// Enabled reports whether the recorder records anything; it is the
+// documented way to gate optional, allocation-heavy annotation work.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+type ctxKey struct{}
+
+type spanKey struct{}
+
+// WithRecorder returns a context carrying the recorder. A nil recorder
+// is carried too (and behaves exactly like an absent one), so callers
+// can thread an optional recorder unconditionally.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the recorder, or nil (the disabled recorder) when
+// none was attached.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}
+
+// Span is one timed stage of a run. It is created by StartSpan, may be
+// annotated (SetRows, SetAttr) from the goroutine that owns it, and must
+// be ended exactly once; End is idempotent as a convenience for deferred
+// cleanup. A nil *Span (from a disabled recorder) accepts every method
+// as a no-op.
+type Span struct {
+	r      *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	rows   int64
+	ended  bool
+
+	mu    sync.Mutex
+	attrs []Attr
+}
+
+// StartSpan opens a span named after the stage and returns a derived
+// context carrying it, so stages started under that context become its
+// children. On a nil recorder it returns the context unchanged and a nil
+// span.
+func (r *Recorder) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var parent uint64
+	if ps, _ := ctx.Value(spanKey{}).(*Span); ps != nil {
+		parent = ps.id
+	}
+	s := &Span{
+		r:      r,
+		id:     r.nextSpanID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  r.now(),
+		attrs:  attrs,
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetRows records how many data rows the span processed; it feeds the
+// per-stage rows aggregate and the rows/sec export.
+func (s *Span) SetRows(n int) {
+	if s == nil {
+		return
+	}
+	atomic.StoreInt64(&s.rows, int64(n))
+}
+
+// SetAttr attaches (or appends) one annotation to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span: the wall time is computed, the span folds into
+// the recorder's per-stage aggregates, and one SpanEvent is emitted to
+// every sink. Safe to call on a nil span and idempotent on a live one.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	end := s.r.now()
+	dur := end.Sub(s.start)
+	rows := atomic.LoadInt64(&s.rows)
+
+	r := s.r
+	r.mu.Lock()
+	st := r.stages[s.name]
+	if st == nil {
+		st = &StageStat{Name: s.name}
+		r.stages[s.name] = st
+	}
+	st.Count++
+	st.Rows += rows
+	st.WallMS += dur.Seconds() * 1e3
+	sinks := r.sinks
+	r.mu.Unlock()
+
+	if len(sinks) == 0 {
+		return
+	}
+	ev := Event{
+		Kind:    "span",
+		Span:    s.name,
+		ID:      s.id,
+		Parent:  s.parent,
+		StartUS: s.start.UnixMicro(),
+		DurMS:   dur.Seconds() * 1e3,
+		Rows:    rows,
+		Attrs:   attrMap(attrs),
+	}
+	for _, sink := range sinks {
+		sink.Emit(ev)
+	}
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// StageStat is the aggregate of every ended span sharing one stage name:
+// how often the stage ran, how many rows it processed, and its summed
+// wall time. Count and Rows are deterministic for a fixed configuration;
+// WallMS is wall-clock and is zeroed by the manifest's canonical form.
+type StageStat struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Rows   int64   `json:"rows,omitempty"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// StageStats returns a copy of the per-stage aggregates, sorted by stage
+// name for deterministic output. Nil-safe (returns nil when disabled).
+func (r *Recorder) StageStats() []StageStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]StageStat, 0, len(r.stages))
+	for _, st := range r.stages {
+		out = append(out, *st)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Flush flushes every sink that supports flushing (JSONLSink does).
+// Nil-safe.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	sinks := r.sinks
+	r.mu.Unlock()
+	var first error
+	for _, s := range sinks {
+		if f, ok := s.(interface{ Flush() error }); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,451 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns an injectable clock advancing 10ms per reading, so
+// span durations are deterministic in tests.
+func fixedClock() func() time.Time {
+	t := time.Unix(1700000000, 0)
+	return func() time.Time {
+		t = t.Add(10 * time.Millisecond)
+		return t
+	}
+}
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	ctx, span := r.StartSpan(context.Background(), "x", A("k", 1))
+	if span != nil {
+		t.Fatal("nil recorder returned a live span")
+	}
+	// Every nil method must be callable.
+	span.SetRows(5)
+	span.SetAttr("k", 2)
+	span.End()
+	r.Counter("c").Add(1)
+	r.VolatileCounter("v").Add(1)
+	r.Gauge("g").Set(3)
+	r.Gauge("g").SetMax(4)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge value = %v", got)
+	}
+	if r.StageStats() != nil || r.Counters() != nil || r.Gauges() != nil {
+		t.Error("nil recorder produced non-nil aggregates")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	// The disabled recorder must round-trip through a context unchanged.
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("FromContext = %v, want nil", got)
+	}
+	if got := FromContext(WithRecorder(context.Background(), nil)); got != nil {
+		t.Errorf("FromContext(WithRecorder(nil)) = %v, want nil", got)
+	}
+	if got := FromContext(nil); got != nil {
+		t.Errorf("FromContext(nil ctx) = %v, want nil", got)
+	}
+}
+
+func TestSpanHierarchyAndEvents(t *testing.T) {
+	sink := NewMemorySink()
+	r := New(sink)
+	r.now = fixedClock()
+	ctx := WithRecorder(context.Background(), r)
+
+	pctx, parent := r.StartSpan(ctx, "parent", A("suite", "cpu2006"))
+	_, child := r.StartSpan(pctx, "child")
+	child.SetRows(100)
+	child.SetAttr("leaves", 7)
+	child.End()
+	parent.SetRows(10)
+	parent.End()
+	parent.End() // idempotent
+
+	events := sink.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2 (End must be idempotent)", len(events))
+	}
+	c, p := events[0], events[1]
+	if c.Span != "child" || p.Span != "parent" {
+		t.Fatalf("event order = %s, %s; want child, parent", c.Span, p.Span)
+	}
+	if c.Parent != p.ID {
+		t.Errorf("child.Parent = %d, want parent id %d", c.Parent, p.ID)
+	}
+	if p.Parent != 0 {
+		t.Errorf("parent.Parent = %d, want 0 (root)", p.Parent)
+	}
+	if c.Rows != 100 {
+		t.Errorf("child rows = %d, want 100", c.Rows)
+	}
+	if c.DurMS <= 0 {
+		t.Errorf("child duration = %v, want > 0", c.DurMS)
+	}
+	if c.Attrs["leaves"] != 7 {
+		t.Errorf("child attrs = %v, want leaves=7", c.Attrs)
+	}
+	if p.Attrs["suite"] != "cpu2006" {
+		t.Errorf("parent attrs = %v, want suite=cpu2006", p.Attrs)
+	}
+	if names := sink.SpanNames(); !names["parent"] || !names["child"] {
+		t.Errorf("SpanNames = %v", names)
+	}
+}
+
+func TestStageAggregates(t *testing.T) {
+	r := New()
+	r.now = fixedClock()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_, s := r.StartSpan(ctx, "stage.b")
+		s.SetRows(10)
+		s.End()
+	}
+	_, s := r.StartSpan(ctx, "stage.a")
+	s.End()
+
+	stats := r.StageStats()
+	if len(stats) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stats))
+	}
+	// Sorted by name for deterministic output.
+	if stats[0].Name != "stage.a" || stats[1].Name != "stage.b" {
+		t.Fatalf("stage order = %s, %s", stats[0].Name, stats[1].Name)
+	}
+	if stats[1].Count != 3 || stats[1].Rows != 30 {
+		t.Errorf("stage.b aggregate = %+v, want count 3 rows 30", stats[1])
+	}
+	if stats[1].WallMS <= 0 {
+		t.Errorf("stage.b wall = %v, want > 0", stats[1].WallMS)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := New()
+	r.Counter("det_total").Add(5)
+	r.Counter("det_total").Add(2) // same counter registered once
+	r.VolatileCounter("vol_total").Add(9)
+	r.Gauge("peak").SetMax(3)
+	r.Gauge("peak").SetMax(2) // lower: must not regress
+	r.Gauge("peak").SetMax(8)
+	r.Gauge("last").Set(4)
+	r.Gauge("last").Set(1)
+
+	if got := r.Counters(); len(got) != 1 || got["det_total"] != 7 {
+		t.Errorf("Counters = %v, want only det_total=7 (volatile excluded)", got)
+	}
+	g := r.Gauges()
+	if g["peak"] != 8 {
+		t.Errorf("peak = %v, want 8 (SetMax high-water)", g["peak"])
+	}
+	if g["last"] != 1 {
+		t.Errorf("last = %v, want 1 (Set last-value)", g["last"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.now = fixedClock()
+	r.Counter("specchar_b_total").Add(2)
+	r.Counter("specchar_a_total").Add(1)
+	r.VolatileCounter("specchar_vol_total").Add(3)
+	r.Gauge("specchar_peak").Set(1.5)
+	_, s := r.StartSpan(context.Background(), "stage.x")
+	s.SetRows(500)
+	s.End()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Counters sorted by name, each with a TYPE line; volatile counters
+	// are exported here even though the manifest excludes them.
+	ia := strings.Index(out, "specchar_a_total 1")
+	ib := strings.Index(out, "specchar_b_total 2")
+	iv := strings.Index(out, "specchar_vol_total 3")
+	if ia < 0 || ib < 0 || iv < 0 || ia > ib {
+		t.Errorf("counter export wrong:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE specchar_a_total counter",
+		"# TYPE specchar_peak gauge",
+		"specchar_peak 1.5",
+		`specchar_stage_runs_total{stage="stage.x"} 1`,
+		`specchar_stage_rows_total{stage="stage.x"} 500`,
+		`# TYPE specchar_stage_rows_per_second gauge`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// Well-formed exposition: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed metric line %q", line)
+		}
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := New(sink)
+	r.now = fixedClock()
+	_, s := r.StartSpan(context.Background(), "stage.y", A("n", 3))
+	s.SetRows(42)
+	s.End()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if ev.Kind != "span" || ev.Span != "stage.y" || ev.Rows != 42 {
+			t.Errorf("event = %+v", ev)
+		}
+	}
+	if lines != 1 {
+		t.Errorf("lines = %d, want 1", lines)
+	}
+}
+
+func TestOpenJSONLFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := OpenJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Emit(Event{Kind: "span", Span: "s"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil { // double close must be safe
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"span":"s"`) {
+		t.Errorf("trace file = %q", b)
+	}
+}
+
+func TestManifestCanonicalJSON(t *testing.T) {
+	build := func(wallScale float64) *Manifest {
+		r := New()
+		now := time.Unix(1700000000, 0)
+		r.now = func() time.Time {
+			now = now.Add(time.Duration(wallScale * float64(10*time.Millisecond)))
+			return now
+		}
+		_, s := r.StartSpan(context.Background(), "stage.z")
+		s.SetRows(7)
+		s.End()
+		r.Counter("det_total").Add(3)
+		r.Gauge("peak").Set(wallScale) // gauge differs run to run
+
+		m := NewManifest("tool", []string{"-x"})
+		if err := m.SetConfig(map[string]int{"seed": 1}); err != nil {
+			t.Fatal(err)
+		}
+		m.AddDataset(DatasetShape{Name: "d", Samples: 7, Attrs: 2})
+		m.AddTree(TreeSummary{Name: "t", Leaves: 3, Nodes: 5, Depth: 2})
+		m.Finish(r)
+		return m
+	}
+
+	a, b := build(1), build(3) // different wall clocks and gauges
+	ca, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("canonical JSON differs across wall clocks:\n%s\nvs\n%s", ca, cb)
+	}
+	if strings.Contains(string(ca), "created_at") {
+		t.Error("canonical form retains created_at")
+	}
+	if strings.Contains(string(ca), "gauges") {
+		t.Error("canonical form retains gauges")
+	}
+	if strings.Contains(string(ca), `"wall_ms": 10`) {
+		t.Error("canonical form retains nonzero wall_ms")
+	}
+	// The full form keeps what the canonical form strips.
+	fa, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"created_at", "gauges", "det_total", `"rows": 7`} {
+		if !strings.Contains(string(fa), want) {
+			t.Errorf("full manifest missing %q:\n%s", want, fa)
+		}
+	}
+	// Canonical must still be valid JSON.
+	var v map[string]any
+	if err := json.Unmarshal(ca, &v); err != nil {
+		t.Fatalf("canonical form is not JSON: %v", err)
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "manifest.json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("tool", nil)
+	m.Finish(New())
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("manifest on disk is not JSON: %v", err)
+	}
+	if v["tool"] != "tool" {
+		t.Errorf("tool = %v", v["tool"])
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	sink := NewMemorySink()
+	r := New(sink)
+	ctx := WithRecorder(context.Background(), r)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sctx, s := r.StartSpan(ctx, "stage.par")
+				_, c := r.StartSpan(sctx, "stage.par.child")
+				c.End()
+				s.SetRows(1)
+				s.End()
+				r.Counter("n_total").Add(1)
+				r.Gauge("peak").SetMax(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n_total").Value(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	stats := r.StageStats()
+	if len(stats) != 2 || stats[0].Count != 800 || stats[0].Rows != 800 {
+		t.Errorf("stage stats = %+v", stats)
+	}
+	if got := len(sink.Events()); got != 1600 {
+		t.Errorf("events = %d, want 1600", got)
+	}
+	if got := r.Gauge("peak").Value(); got != 99 {
+		t.Errorf("peak = %v, want 99", got)
+	}
+}
+
+func TestCLIRunDisabled(t *testing.T) {
+	c, err := StartCLIRun("tool", nil, false, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("zero-flag CLIRun reports enabled")
+	}
+	if c.Recorder != nil {
+		t.Fatal("zero-flag CLIRun built a recorder")
+	}
+	ctx := context.Background()
+	if got := c.Context(ctx); got != ctx {
+		t.Error("disabled CLIRun changed the context")
+	}
+	if err := c.Finish(); err != nil {
+		t.Errorf("disabled Finish: %v", err)
+	}
+	// A nil CLIRun must behave the same (early CLI error paths).
+	var nilRun *CLIRun
+	if nilRun.Enabled() {
+		t.Error("nil CLIRun reports enabled")
+	}
+	if err := nilRun.Finish(); err != nil {
+		t.Errorf("nil Finish: %v", err)
+	}
+}
+
+func TestCLIRunPublishes(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	manifest := filepath.Join(dir, "manifest.json")
+	metrics := filepath.Join(dir, "metrics.prom")
+	c, err := StartCLIRun("tool", []string{"-a"}, false, trace, manifest, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() {
+		t.Fatal("CLIRun with outputs reports disabled")
+	}
+	ctx := c.Context(context.Background())
+	rec := FromContext(ctx)
+	if rec != c.Recorder {
+		t.Fatal("context does not carry the run recorder")
+	}
+	_, s := rec.StartSpan(ctx, "stage.cli")
+	s.SetRows(3)
+	s.End()
+	rec.Counter("c_total").Add(1)
+	c.Manifest.AddDataset(DatasetShape{Name: "d", Samples: 3, Attrs: 1})
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{
+		trace:    `"span":"stage.cli"`,
+		manifest: `"stage.cli"`,
+		metrics:  "c_total 1",
+	} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.Contains(string(b), want) {
+			t.Errorf("%s missing %q:\n%s", filepath.Base(path), want, b)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Event is the one record type sinks receive. Today every event is a
+// span end (Kind "span"); the Kind field keeps the stream self-describing
+// so future event kinds extend the schema without breaking readers.
+//
+// JSONL encoding (one object per line, keys omitted when zero):
+//
+//	{"kind":"span","span":"mtree.build","id":7,"parent":3,
+//	 "start_us":1722870000000000,"dur_ms":41.7,"rows":8000,
+//	 "attrs":{"workers":8,"leaves":11}}
+type Event struct {
+	Kind    string         `json:"kind"`
+	Span    string         `json:"span"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	StartUS int64          `json:"start_us"` // span start, Unix microseconds
+	DurMS   float64        `json:"dur_ms"`
+	Rows    int64          `json:"rows,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls: spans end on whatever goroutine ran their stage.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink streams events as JSON Lines through a buffered writer —
+// the machine-readable trace behind the CLIs' -log-json flag. Emit is
+// concurrency-safe; call Flush (or Close, when the sink owns a file)
+// before reading the output. Encoding errors are retained and returned
+// by Flush/Close rather than surfacing mid-pipeline.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer // non-nil when the sink owns the underlying file
+	err error
+}
+
+// NewJSONLSink wraps the writer (commonly os.Stderr) in a JSONL sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// OpenJSONLFile creates (truncating) a trace file and returns a sink
+// that owns it; Close flushes and closes the file. The trace is a
+// stream, not an artifact: unlike the manifest it is written in place,
+// so an interrupted run keeps the events emitted so far.
+func OpenJSONLFile(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLSink{bw: bufio.NewWriter(f), c: f}, nil
+}
+
+// Emit encodes one event as a JSON line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.bw.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first retained error.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and, when the sink owns its file, closes it.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil {
+		if cerr := s.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.c = nil
+	}
+	return err
+}
+
+// MemorySink retains every event in memory — the sink tests assert
+// against.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit appends the event.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// SpanNames returns the distinct span names observed, as a set.
+func (s *MemorySink) SpanNames() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]bool, len(s.events))
+	for _, e := range s.events {
+		if e.Kind == "span" {
+			out[e.Span] = true
+		}
+	}
+	return out
+}

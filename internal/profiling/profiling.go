@@ -8,9 +8,38 @@ package profiling
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 )
+
+// BundlePaths names the files of one -profile-bundle capture: CPU and
+// heap profiles next to the span trace, manifest and metrics of the same
+// run, so a performance investigation starts from one directory instead
+// of five flags.
+type BundlePaths struct {
+	CPU      string // cpu.pprof
+	Mem      string // mem.pprof
+	Trace    string // trace.jsonl (span events)
+	Manifest string // manifest.json (deterministic end-of-run record)
+	Metrics  string // metrics.prom (Prometheus text format)
+}
+
+// Bundle creates the bundle directory (if needed) and returns the
+// conventional file paths inside it. Callers fill any profiling or
+// observability flag the user left unset from these paths.
+func Bundle(dir string) (BundlePaths, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return BundlePaths{}, fmt.Errorf("profiling: creating bundle directory: %w", err)
+	}
+	return BundlePaths{
+		CPU:      filepath.Join(dir, "cpu.pprof"),
+		Mem:      filepath.Join(dir, "mem.pprof"),
+		Trace:    filepath.Join(dir, "trace.jsonl"),
+		Manifest: filepath.Join(dir, "manifest.json"),
+		Metrics:  filepath.Join(dir, "metrics.prom"),
+	}, nil
+}
 
 // Start begins profiling according to the two paths; either (or both) may
 // be empty to disable that profile. It returns a stop function that ends

@@ -19,6 +19,7 @@ import (
 
 	"specchar/internal/dataset"
 	"specchar/internal/faultinject"
+	"specchar/internal/obs"
 	"specchar/internal/pmu"
 	"specchar/internal/robust"
 	"specchar/internal/trace"
@@ -169,9 +170,13 @@ func GenerateContext(ctx context.Context, s *Suite, opts GenOptions) (*dataset.D
 	if par <= 0 {
 		par = 8
 	}
+	rec := obs.FromContext(ctx)
+	sctx, span := rec.StartSpan(ctx, "suites.generate",
+		obs.A("suite", s.Name), obs.A("benchmarks", len(s.Benchmarks)), obs.A("workers", par))
+	defer span.End()
 
 	results := make([][]dataset.Sample, len(s.Benchmarks))
-	g, gctx := robust.NewGroup(ctx, par)
+	g, gctx := robust.NewGroup(sctx, par)
 	for i := range s.Benchmarks {
 		i := i
 		g.Go(func() error {
@@ -202,6 +207,8 @@ func GenerateContext(ctx context.Context, s *Suite, opts GenOptions) (*dataset.D
 			}
 		}
 	}
+	span.SetRows(d.Len())
+	rec.Counter("specchar_samples_generated_total").Add(int64(d.Len()))
 	return d, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"specchar/internal/dataset"
 	"specchar/internal/metrics"
 	"specchar/internal/mtree"
+	"specchar/internal/obs"
 	"specchar/internal/stats"
 )
 
@@ -111,6 +112,11 @@ func AssessContext(ctx context.Context, model Predictor, train, test *dataset.Da
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("transfer: assessment canceled: %w", err)
 	}
+	sctx, span := obs.FromContext(ctx).StartSpan(ctx, "transfer.assess",
+		obs.A("train", trainName), obs.A("test", testName))
+	span.SetRows(test.Len())
+	defer span.End()
+	ctx = sctx
 	if train.Len() < 2 || test.Len() < 2 {
 		return nil, errors.New("transfer: need at least two samples on each side")
 	}
@@ -251,35 +257,53 @@ func SweepContext(ctx context.Context, d *dataset.Dataset, fractions []float64, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	rec := obs.FromContext(ctx)
+	sctx, span := rec.StartSpan(ctx, "transfer.sweep", obs.A("points", len(fractions)))
+	span.SetRows(d.Len())
+	defer span.End()
+	ctx = sctx
 	out := make([]SweepPoint, 0, len(fractions))
 	for i, f := range fractions {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("transfer: sweep canceled at fraction %.3f: %w", f, err)
 		}
-		rng := dataset.NewRNG(seed + uint64(i)*1469598103934665603)
-		train, test := d.Split(rng, f)
-		if train.Len() < 10 || test.Len() < 10 {
-			return nil, fmt.Errorf("transfer: fraction %.3f leaves too few samples", f)
-		}
-		tree, err := mtree.BuildContext(ctx, train, treeOpts)
+		point, err := sweepPoint(ctx, rec, d, f, treeOpts, seed, i)
 		if err != nil {
 			return nil, err
 		}
-		// Each fraction's tree scores the (large) held-out remainder once:
-		// compile it and run the batch scorer.
-		ctree, err := tree.Compile()
-		if err != nil {
-			return nil, err
-		}
-		pred, err := ctree.PredictDatasetCheckedContext(ctx, test)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := metrics.Compute(pred, test.Ys())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{Fraction: f, TrainN: train.Len(), Metrics: rep})
+		out = append(out, point)
 	}
 	return out, nil
+}
+
+// sweepPoint trains and scores one fraction of the sweep under its own
+// "transfer.sweep.point" span.
+func sweepPoint(ctx context.Context, rec *obs.Recorder, d *dataset.Dataset, f float64, treeOpts mtree.Options, seed uint64, i int) (SweepPoint, error) {
+	pctx, pspan := rec.StartSpan(ctx, "transfer.sweep.point", obs.A("fraction", f))
+	defer pspan.End()
+	rng := dataset.NewRNG(seed + uint64(i)*1469598103934665603)
+	train, test := d.Split(rng, f)
+	if train.Len() < 10 || test.Len() < 10 {
+		return SweepPoint{}, fmt.Errorf("transfer: fraction %.3f leaves too few samples", f)
+	}
+	pspan.SetRows(test.Len())
+	tree, err := mtree.BuildContext(pctx, train, treeOpts)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	// Each fraction's tree scores the (large) held-out remainder once:
+	// compile it and run the batch scorer.
+	ctree, err := tree.CompileContext(pctx)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	pred, err := ctree.PredictDatasetCheckedContext(pctx, test)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	rep, err := metrics.Compute(pred, test.Ys())
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Fraction: f, TrainN: train.Len(), Metrics: rep}, nil
 }

@@ -1,0 +1,164 @@
+package specchar
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"specchar/internal/characterize"
+	"specchar/internal/dataset"
+	"specchar/internal/mtree"
+	"specchar/internal/obs"
+	"specchar/internal/transfer"
+)
+
+// tracedQuickStudy runs the full pipeline at QuickConfig scale with a
+// recording observer and then drives every downstream analysis once, so
+// span-coverage and manifest tests share one expensive setup.
+func tracedQuickStudy(t *testing.T) (*Study, *obs.Recorder, *obs.MemorySink) {
+	t.Helper()
+	sink := obs.NewMemorySink()
+	rec := obs.New(sink)
+	ctx := obs.WithRecorder(context.Background(), rec)
+
+	study, err := RunContext(ctx, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := study.AssessTransferContext(ctx, Directions()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := characterize.SuiteProfilesContext(ctx, study.CPUTreeCompiled, study.CPU); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mtree.CrossValidateContext(ctx, study.CPU, 3, study.Config.Tree, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transfer.SweepContext(ctx, study.CPU, []float64{0.2, 0.5}, study.Config.Tree, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := study.CPUTree.PermutationImportanceContext(ctx, study.CPU, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip one dataset through the CSV reader so ingest is traced
+	// too; generation-time spans cover everything upstream.
+	var buf bytes.Buffer
+	if err := study.OMP.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dataset.ReadCSVWith(&buf, dataset.ReadOptions{Source: "roundtrip", Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return study, rec, sink
+}
+
+// TestSpanCoverage asserts the tentpole guarantee: every pipeline stage
+// named in the observability design emits a span when a recorder is
+// attached to the context.
+func TestSpanCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run; skipped with -short")
+	}
+	_, rec, sink := tracedQuickStudy(t)
+
+	names := sink.SpanNames()
+	for _, want := range []string{
+		"study.run",
+		"study.split",
+		"suites.generate",
+		"dataset.ingest",
+		"mtree.build",
+		"mtree.build.grow",
+		"mtree.build.fit",
+		"mtree.build.prune",
+		"mtree.compile",
+		"mtree.compile.smooth",
+		"mtree.predict",
+		"mtree.classify",
+		"mtree.cv",
+		"mtree.cv.fold",
+		"mtree.importance",
+		"transfer.assess",
+		"transfer.sweep",
+		"transfer.sweep.point",
+		"characterize.profile",
+		"characterize.suite",
+	} {
+		if !names[want] {
+			t.Errorf("no %q span emitted", want)
+		}
+	}
+
+	// Stage aggregates must mirror the emitted spans.
+	stats := rec.StageStats()
+	byName := make(map[string]obs.StageStat, len(stats))
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	if s := byName["mtree.build"]; s.Count < 4 {
+		t.Errorf("mtree.build count = %d, want >= 4 (two suite trees, two transfer models)", s.Count)
+	}
+	if s := byName["suites.generate"]; s.Rows == 0 {
+		t.Errorf("suites.generate recorded no rows: %+v", s)
+	}
+	if s := byName["mtree.cv.fold"]; s.Count != 3 {
+		t.Errorf("mtree.cv.fold count = %d, want 3", s.Count)
+	}
+	if s := byName["transfer.sweep.point"]; s.Count != 2 {
+		t.Errorf("transfer.sweep.point count = %d, want 2", s.Count)
+	}
+
+	// Spot-check hierarchy: every mtree.build.grow span must hang off an
+	// mtree.build span, never off the root.
+	idToName := map[uint64]string{}
+	for _, ev := range sink.Events() {
+		idToName[ev.ID] = ev.Span
+	}
+	for _, ev := range sink.Events() {
+		if ev.Span == "mtree.build.grow" && idToName[ev.Parent] != "mtree.build" {
+			t.Errorf("mtree.build.grow parent span = %q, want mtree.build", idToName[ev.Parent])
+		}
+	}
+
+	// Pipeline-level instruments must have fired alongside the spans.
+	counters := rec.Counters()
+	if counters["specchar_samples_generated_total"] == 0 {
+		t.Error("specchar_samples_generated_total never incremented")
+	}
+	if rec.Gauge("specchar_tree_leaves").Value() == 0 {
+		t.Error("specchar_tree_leaves gauge never set")
+	}
+}
+
+// TestManifestDeterminism asserts that two same-seed runs publish
+// byte-identical manifests in canonical form (timestamps and wall-clock
+// fields zeroed, scheduling-dependent gauges dropped).
+func TestManifestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline runs; skipped with -short")
+	}
+	runOnce := func() []byte {
+		rec := obs.New()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		cfg := QuickConfig()
+		study, err := RunContext(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := obs.NewManifest("test", []string{"-quick"})
+		if err := m.SetConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+		study.Describe(m)
+		m.Finish(rec)
+		b, err := m.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := runOnce(), runOnce()
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical manifests differ between same-seed runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

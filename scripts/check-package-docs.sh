@@ -1,0 +1,15 @@
+#!/bin/sh
+# Fails if any package in the module lacks a package doc comment. Godoc
+# is part of this repo's public surface (DESIGN.md is the architecture,
+# package docs are the API contract), so an undocumented package is a CI
+# error, not a style nit.
+set -eu
+cd "$(dirname "$0")/.."
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+    echo "packages missing a package doc comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "all packages documented"

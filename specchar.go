@@ -21,6 +21,7 @@ import (
 
 	"specchar/internal/dataset"
 	"specchar/internal/mtree"
+	"specchar/internal/obs"
 	"specchar/internal/suites"
 	"specchar/internal/transfer"
 	"specchar/internal/uarch"
@@ -113,6 +114,9 @@ func RunContext(ctx context.Context, cfg Config) (*Study, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sctx, span := obs.FromContext(ctx).StartSpan(ctx, "study.run")
+	defer span.End()
+	ctx = sctx
 	cpu, err := suites.GenerateContext(ctx, suites.CPU2006(), cfg.Gen)
 	if err != nil {
 		return nil, fmt.Errorf("specchar: generating CPU2006: %w", err)
@@ -153,27 +157,48 @@ func StudyFromDatasetsContext(ctx context.Context, cfg Config, cpu, omp *dataset
 	if frac <= 0 || frac >= 1 {
 		frac = 0.10
 	}
+	_, splitSpan := obs.FromContext(ctx).StartSpan(ctx, "study.split", obs.A("fraction", frac))
 	s.CPUTrain, s.CPUTest = s.CPU.StratifiedSplit(dataset.NewRNG(cfg.SplitSeed), frac)
 	s.OMPTrain, s.OMPTest = s.OMP.StratifiedSplit(dataset.NewRNG(cfg.SplitSeed^0xD1CE), frac)
+	splitSpan.SetRows(s.CPU.Len() + s.OMP.Len())
+	splitSpan.End()
 	if s.CPUModel, err = mtree.BuildContext(ctx, s.CPUTrain, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building CPU2006 transfer model: %w", err)
 	}
 	if s.OMPModel, err = mtree.BuildContext(ctx, s.OMPTrain, cfg.Tree); err != nil {
 		return nil, fmt.Errorf("specchar: building OMP2001 transfer model: %w", err)
 	}
-	if s.CPUTreeCompiled, err = s.CPUTree.Compile(); err != nil {
+	if s.CPUTreeCompiled, err = s.CPUTree.CompileContext(ctx); err != nil {
 		return nil, fmt.Errorf("specchar: compiling CPU2006 tree: %w", err)
 	}
-	if s.OMPTreeCompiled, err = s.OMPTree.Compile(); err != nil {
+	if s.OMPTreeCompiled, err = s.OMPTree.CompileContext(ctx); err != nil {
 		return nil, fmt.Errorf("specchar: compiling OMP2001 tree: %w", err)
 	}
-	if s.CPUModelCompiled, err = s.CPUModel.Compile(); err != nil {
+	if s.CPUModelCompiled, err = s.CPUModel.CompileContext(ctx); err != nil {
 		return nil, fmt.Errorf("specchar: compiling CPU2006 transfer model: %w", err)
 	}
-	if s.OMPModelCompiled, err = s.OMPModel.Compile(); err != nil {
+	if s.OMPModelCompiled, err = s.OMPModel.CompileContext(ctx); err != nil {
 		return nil, fmt.Errorf("specchar: compiling OMP2001 transfer model: %w", err)
 	}
 	return s, nil
+}
+
+// Describe fills the manifest with the study's deterministic artifacts:
+// the shape of every dataset (full suites, train/test partitions) and a
+// structural summary of every trained tree. Together with the recorder's
+// stage aggregates folded in by Manifest.Finish, this is the end-of-run
+// record the CLIs publish via -obs-out.
+func (s *Study) Describe(m *obs.Manifest) {
+	m.AddDataset(s.CPU.Shape("cpu2006"))
+	m.AddDataset(s.OMP.Shape("omp2001"))
+	m.AddDataset(s.CPUTrain.Shape("cpu2006.train"))
+	m.AddDataset(s.CPUTest.Shape("cpu2006.test"))
+	m.AddDataset(s.OMPTrain.Shape("omp2001.train"))
+	m.AddDataset(s.OMPTest.Shape("omp2001.test"))
+	m.AddTree(s.CPUTree.Summarize("cpu2006"))
+	m.AddTree(s.OMPTree.Summarize("omp2001"))
+	m.AddTree(s.CPUModel.Summarize("cpu2006.model"))
+	m.AddTree(s.OMPModel.Summarize("omp2001.model"))
 }
 
 // CoreConfig returns the simulated processor configuration in effect.
