@@ -111,6 +111,29 @@ func (d *Dataset) Xs() [][]float64 {
 	return out
 }
 
+// Columns returns a column-major (SoA) mirror of the predictor matrix:
+// Columns()[j][i] is attribute j of sample i. All columns are slices of
+// one contiguous float64 slab, so a consumer scanning a single attribute
+// walks sequential memory instead of chasing per-row slice pointers —
+// the access pattern the model tree's presorted split search is built
+// around. The mirror is a copy: it does not alias the dataset's storage
+// and does not observe later appends.
+func (d *Dataset) Columns() [][]float64 {
+	nAttrs := d.Schema.NumAttrs()
+	n := len(d.Samples)
+	slab := make([]float64, nAttrs*n)
+	out := make([][]float64, nAttrs)
+	for j := range out {
+		out[j] = slab[j*n : (j+1)*n : (j+1)*n]
+	}
+	for i := range d.Samples {
+		for j, v := range d.Samples[i].X {
+			out[j][i] = v
+		}
+	}
+	return out
+}
+
 // Column returns a copy of predictor column j.
 func (d *Dataset) Column(j int) []float64 {
 	out := make([]float64, len(d.Samples))

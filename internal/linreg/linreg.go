@@ -85,24 +85,29 @@ func Fit(xs [][]float64, y []float64, terms []int) (*Model, error) {
 		return nil, ErrDimension
 	}
 	p := len(terms) + 1 // +1 for intercept
-	// Build the design matrix column-major would save nothing here; use a
-	// dense row-major copy since n*p is small at tree leaves. The matrix
-	// and the solver's working vectors come from a pool: tree induction
-	// calls Fit thousands of times on small systems and these buffers
-	// dominated its allocation profile.
+	// The design matrix is stored column-major: the QR factorization
+	// walks columns (norms, reflector formation and application), so a
+	// column-major layout turns every inner loop into a contiguous
+	// stride-1 pass where the old row-major layout touched one cache
+	// line per element. The arithmetic is untouched — identical ops in
+	// identical order — so coefficients are bit-for-bit unchanged. The
+	// matrix and the solver's working vectors come from a pool: tree
+	// induction calls Fit thousands of times on small systems and these
+	// buffers dominated its allocation profile. Every cell is written
+	// during assembly, so the buffer is not zeroed first.
 	sc := fitPool.Get().(*fitScratch)
 	defer fitPool.Put(sc)
 	a := sc.floats(&sc.a, n*p)
-	for i := range a {
-		a[i] = 0
+	for i := 0; i < n; i++ {
+		a[i] = 1 // intercept column
 	}
-	for i, row := range xs {
-		a[i*p] = 1
-		for j, t := range terms {
+	for j, t := range terms {
+		col := a[(j+1)*n : (j+2)*n]
+		for i, row := range xs {
 			if t >= len(row) {
 				return nil, fmt.Errorf("linreg: term index %d out of range for row of width %d", t, len(row))
 			}
-			a[i*p+j+1] = row[t]
+			col[i] = row[t]
 		}
 	}
 	b := sc.floats(&sc.b, n)
@@ -158,11 +163,106 @@ func FitConstant(y []float64) *Model {
 	return m
 }
 
-// solveQR factors the n-by-p row-major matrix a with Householder
-// reflections, solving a*beta = b in the least-squares sense. It returns
-// the solution and a mask of columns that were numerically independent;
-// dependent columns get beta 0 and ok false. The returned slices live in
-// sc and are only valid until the scratch is pooled again.
+// columnTol is the degeneracy tolerance for one design-matrix column:
+// its Euclidean norm scaled down by 1e-10, with a floor for the
+// all-zero column.
+func columnTol(col []float64) float64 {
+	var s float64
+	for _, v := range col {
+		s += v * v
+	}
+	t := math.Sqrt(s) * 1e-10
+	if t == 0 {
+		t = 1e-12
+	}
+	return t
+}
+
+// householderStep performs one Householder elimination step: it forms
+// the reflector for column ck over rows k..n-1 and applies it to the
+// trailing columns col(k+1)..col(q-1) and to b, leaving ck holding the
+// reflector below the diagonal and the R diagonal entry (-norm, the
+// Householder sign convention) at ck[k]. A column whose norm falls at
+// or below tol is degenerate: it is zeroed below the diagonal so back
+// substitution can skip it, and the step reports false without touching
+// anything else.
+//
+// This is the single implementation of the elimination arithmetic;
+// solveQR and the Simplify prefix-reuse engine both call it, so a trial
+// refit that resumes from a cached factorization prefix executes
+// literally the same instruction sequence a from-scratch factorization
+// would — the foundation of the bit-for-bit equivalence contract.
+func householderStep(ck []float64, col func(int) []float64, b []float64, k, q, n int, tol float64) bool {
+	var norm float64
+	for i := k; i < n; i++ {
+		norm = math.Hypot(norm, ck[i])
+	}
+	if norm <= tol {
+		for i := k; i < n; i++ {
+			ck[i] = 0
+		}
+		return false
+	}
+	if ck[k] < 0 {
+		norm = -norm
+	}
+	for i := k; i < n; i++ {
+		ck[i] /= norm
+	}
+	ck[k] += 1
+	// Apply the reflector to remaining columns.
+	for j := k + 1; j < q; j++ {
+		cj := col(j)
+		var s float64
+		for i := k; i < n; i++ {
+			s += ck[i] * cj[i]
+		}
+		s = -s / ck[k]
+		for i := k; i < n; i++ {
+			cj[i] += s * ck[i]
+		}
+	}
+	// Apply to b.
+	var s float64
+	for i := k; i < n; i++ {
+		s += ck[i] * b[i]
+	}
+	s = -s / ck[k]
+	for i := k; i < n; i++ {
+		b[i] += s * ck[i]
+	}
+	ck[k] = -norm
+	return true
+}
+
+// backSubstitute solves the upper-triangular system left behind by the
+// elimination steps: col(j) addresses factored column j (rows 0..j hold
+// R entries), b is the transformed response, and dead columns (ok
+// false, or at/beyond cols when the system is wider than tall) get
+// coefficient zero.
+func backSubstitute(col func(int) []float64, b, beta []float64, ok []bool, q, cols int) {
+	for i := range beta {
+		beta[i] = 0
+	}
+	for k := cols - 1; k >= 0; k-- {
+		if !ok[k] {
+			beta[k] = 0
+			continue
+		}
+		s := b[k]
+		for j := k + 1; j < q; j++ {
+			s -= col(j)[k] * beta[j]
+		}
+		beta[k] = s / col(k)[k]
+	}
+}
+
+// solveQR factors the n-by-p column-major matrix a (column j is
+// a[j*n:(j+1)*n]) with Householder reflections, solving a*beta = b in
+// the least-squares sense. It returns the solution and a mask of
+// columns that were numerically independent; dependent columns get beta
+// 0 and ok false. The returned slices live in sc and are only valid
+// until the scratch is pooled again.
 func solveQR(a, b []float64, n, p int, sc *fitScratch) (beta []float64, ok []bool) {
 	if n == 0 {
 		return nil, nil
@@ -178,81 +278,17 @@ func solveQR(a, b []float64, n, p int, sc *fitScratch) (beta []float64, ok []boo
 	for i := range ok {
 		ok[i] = false
 	}
+	col := func(j int) []float64 { return a[j*n : (j+1)*n] }
 	// Column norms for the degeneracy tolerance.
 	tol := sc.floats(&sc.tol, p)
 	for j := 0; j < p; j++ {
-		var s float64
-		for i := 0; i < n; i++ {
-			v := a[i*p+j]
-			s += v * v
-		}
-		tol[j] = math.Sqrt(s) * 1e-10
-		if tol[j] == 0 {
-			tol[j] = 1e-12
-		}
+		tol[j] = columnTol(col(j))
 	}
 	for k := 0; k < cols; k++ {
-		// Householder vector for column k, rows k..n-1.
-		var norm float64
-		for i := k; i < n; i++ {
-			norm = math.Hypot(norm, a[i*p+k])
-		}
-		if norm <= tol[k] {
-			// Degenerate column: zero it out below the diagonal so back
-			// substitution can skip it.
-			for i := k; i < n; i++ {
-				a[i*p+k] = 0
-			}
-			continue
-		}
-		ok[k] = true
-		if a[k*p+k] < 0 {
-			norm = -norm
-		}
-		for i := k; i < n; i++ {
-			a[i*p+k] /= norm
-		}
-		a[k*p+k] += 1
-		// Apply the reflector to remaining columns.
-		for j := k + 1; j < p; j++ {
-			var s float64
-			for i := k; i < n; i++ {
-				s += a[i*p+k] * a[i*p+j]
-			}
-			s = -s / a[k*p+k]
-			for i := k; i < n; i++ {
-				a[i*p+j] += s * a[i*p+k]
-			}
-		}
-		// Apply to b.
-		var s float64
-		for i := k; i < n; i++ {
-			s += a[i*p+k] * b[i]
-		}
-		s = -s / a[k*p+k]
-		for i := k; i < n; i++ {
-			b[i] += s * a[i*p+k]
-		}
-		a[k*p+k] = -norm // store R diagonal (Householder sign convention)
+		ok[k] = householderStep(col(k), col, b, k, p, n, tol[k])
 	}
-	// Back substitution on R (upper triangular in a), skipping dead columns.
-	// Zeroed in full: positions at or beyond cols are read by the inner
-	// substitution loop but never assigned.
 	beta = sc.floats(&sc.beta, p)
-	for i := range beta {
-		beta[i] = 0
-	}
-	for k := cols - 1; k >= 0; k-- {
-		if !ok[k] {
-			beta[k] = 0
-			continue
-		}
-		s := b[k]
-		for j := k + 1; j < p; j++ {
-			s -= a[k*p+j] * beta[j]
-		}
-		beta[k] = s / a[k*p+k]
-	}
+	backSubstitute(col, b, beta, ok, p, cols)
 	return beta, ok
 }
 
@@ -298,22 +334,40 @@ func CompensatedError(m *Model, xs [][]float64, y []float64) float64 {
 // increase the compensated error on the training rows, re-fitting after
 // each removal. This is M5's model simplification step; it is what keeps
 // most leaf models in the paper down to a handful of terms (or constants).
+//
+// The refits ride a prefix-reusing factorization engine: dropping term d
+// leaves the design matrix's leading columns 0..d unchanged, so the trial
+// factorization shares the reference factorization's first d+1 Householder
+// steps and only recomputes the suffix. Both paths run the shared
+// householderStep arithmetic, so the returned model is bit-for-bit the one
+// a from-scratch Fit per trial would produce (the engine falls back to
+// exactly that loop when the system shape rules out prefix sharing).
 func Simplify(m *Model, xs [][]float64, y []float64) *Model {
 	best := m
 	bestErr := CompensatedError(best, xs, y)
-	// One reusable candidate-term buffer: Fit copies the entries it keeps
-	// into the model, so the buffer can be rewritten between trials.
+	if len(m.Terms) == 0 {
+		return best
+	}
+	eng := simplifyPool.Get().(*simplifyEngine)
+	defer simplifyPool.Put(eng)
+	// One reusable candidate-term buffer for the fallback path: Fit copies
+	// the entries it keeps into the model, so it can be rewritten between
+	// trials.
 	trial := make([]int, 0, len(m.Terms))
 	for {
 		improved := false
+		fast := len(best.Terms) > 1 && eng.init(xs, y, best.Terms)
 		for drop := 0; drop < len(best.Terms); drop++ {
-			trial = trial[:0]
-			trial = append(trial, best.Terms[:drop]...)
-			trial = append(trial, best.Terms[drop+1:]...)
 			var cand *Model
-			if len(trial) == 0 {
+			switch {
+			case len(best.Terms) == 1:
 				cand = FitConstant(y)
-			} else {
+			case fast:
+				cand = eng.fitDropped(drop)
+			default:
+				trial = trial[:0]
+				trial = append(trial, best.Terms[:drop]...)
+				trial = append(trial, best.Terms[drop+1:]...)
 				var err error
 				cand, err = Fit(xs, y, trial)
 				if err != nil {
@@ -330,6 +384,144 @@ func Simplify(m *Model, xs [][]float64, y []float64) *Model {
 			return best
 		}
 	}
+}
+
+// simplifyEngine caches one reference QR factorization per greedy round of
+// Simplify and derives each leave-one-term-out trial fit from it.
+//
+// The reference design matrix (intercept + every term of the current model,
+// column-major) is factored lazily: advance(d) applies Householder steps
+// up to and including step d. Dropping term d deletes column d+1, so a
+// trial's columns 0..d coincide with the reference's; identical columns
+// under identical tolerances yield identical reflectors, which transform
+// the shared trailing columns and the response exactly as the reference
+// steps did. fitDropped therefore copies the reference's post-step-d state
+// of columns d+2.. into a workspace, re-eliminates only the suffix, and
+// back-substitutes reading reference columns for the shared prefix. Trials
+// are visited in ascending drop order, so the lazy reference advance never
+// recomputes a step and each of its p steps runs at most once per round.
+type simplifyEngine struct {
+	n, p  int       // rows; reference columns (terms + intercept)
+	terms []int     // current model's terms (aliases the caller's slice)
+	a     []float64 // reference matrix, column-major, len n*p
+	b     []float64 // reference response, transformed in place as steps run
+	tol   []float64 // per-column tolerance from the unfactored matrix
+	ok    []bool    // reference step outcomes, valid for steps < step
+	step  int       // number of reference Householder steps applied
+
+	ta   []float64 // trial workspace matrix (suffix columns only)
+	tb   []float64 // trial response
+	tok  []bool    // trial step outcomes
+	beta []float64 // trial solution
+}
+
+var simplifyPool = sync.Pool{New: func() any { return new(simplifyEngine) }}
+
+// grow resizes a float buffer without zeroing; callers overwrite every
+// element they read.
+func (e *simplifyEngine) grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (e *simplifyEngine) col(j int) []float64  { return e.a[j*e.n : (j+1)*e.n] }
+func (e *simplifyEngine) tcol(j int) []float64 { return e.ta[j*e.n : (j+1)*e.n] }
+
+// init assembles the reference system for one greedy round. It reports
+// false when prefix sharing cannot reproduce Fit exactly — no rows, an
+// under-determined system (n < p, where solveQR's truncated elimination
+// takes over), or a term index past a row's width (where Fit errors and
+// the trial must be skipped) — and the caller falls back to per-trial Fit.
+func (e *simplifyEngine) init(xs [][]float64, y []float64, terms []int) bool {
+	n := len(xs)
+	p := len(terms) + 1
+	if n == 0 || n != len(y) || n < p {
+		return false
+	}
+	e.n, e.p, e.terms, e.step = n, p, terms, 0
+	a := e.grow(&e.a, n*p)
+	for i := 0; i < n; i++ {
+		a[i] = 1 // intercept column
+	}
+	for j, t := range terms {
+		col := a[(j+1)*n : (j+2)*n]
+		for i, row := range xs {
+			if t >= len(row) {
+				return false
+			}
+			col[i] = row[t]
+		}
+	}
+	copy(e.grow(&e.b, n), y)
+	tol := e.grow(&e.tol, p)
+	for j := 0; j < p; j++ {
+		tol[j] = columnTol(e.col(j))
+	}
+	if cap(e.ok) < p {
+		e.ok = make([]bool, p)
+	}
+	e.ok = e.ok[:p]
+	return true
+}
+
+// advance applies reference Householder steps through step d.
+func (e *simplifyEngine) advance(d int) {
+	for e.step <= d {
+		k := e.step
+		e.ok[k] = householderStep(e.col(k), e.col, e.b, k, e.p, e.n, e.tol[k])
+		e.step = k + 1
+	}
+}
+
+// fitDropped fits the model with term d removed, reusing the reference
+// factorization's first d+1 steps. Requires init to have returned true.
+func (e *simplifyEngine) fitDropped(d int) *Model {
+	n, q := e.n, e.p-1 // trial column count: one term fewer
+	e.advance(d)
+
+	// Trial columns 0..d are the reference columns (final through row d);
+	// trial column j > d starts as reference column j+1 after step d.
+	col := func(j int) []float64 {
+		if j <= d {
+			return e.col(j)
+		}
+		return e.tcol(j)
+	}
+	e.grow(&e.ta, q*n)
+	for j := d + 1; j < q; j++ {
+		copy(e.tcol(j), e.col(j+1))
+	}
+	tb := e.grow(&e.tb, n)
+	copy(tb, e.b)
+	if cap(e.tok) < q {
+		e.tok = make([]bool, q)
+	}
+	tok := e.tok[:q]
+	copy(tok, e.ok[:d+1])
+	for k := d + 1; k < q; k++ {
+		// Trial column k past the drop point is reference column k+1, so
+		// it inherits that column's tolerance.
+		tok[k] = householderStep(col(k), col, tb, k, q, n, e.tol[k+1])
+	}
+	beta := e.grow(&e.beta, q)
+	backSubstitute(col, tb, beta, tok, q, q)
+
+	m := &Model{Intercept: beta[0]}
+	jj := 1
+	for idx, t := range e.terms {
+		if idx == d {
+			continue
+		}
+		if tok[jj] {
+			m.Coef = append(m.Coef, beta[jj])
+			m.Terms = append(m.Terms, t)
+		}
+		jj++
+	}
+	return m
 }
 
 // RSquared returns the coefficient of determination of the model over the

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -173,10 +175,14 @@ func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree,
 	b := &builder{
 		// Xs/Ys return fresh top-level slices (row views and a response
 		// copy), so the builder may permute them freely; the dataset's own
-		// storage is never reordered or written.
+		// storage is never reordered or written. cols and ycol are
+		// immutable mirrors indexed by original sample id — they are never
+		// permuted, so the per-attribute order arrays can refer to samples
+		// by id no matter how partitions rearrange the row views.
 		xs:     d.Xs(),
 		ys:     d.Ys(),
-		ord:    indicesUpTo(n),
+		cols:   d.Columns(),
+		ycol:   d.Ys(),
 		opts:   opts,
 		ctx:    bctx,
 		cancel: cancel,
@@ -197,7 +203,10 @@ func BuildContext(ctx context.Context, d *dataset.Dataset, opts Options) (*Tree,
 	// the same containment forkJoin gives the lifted half. forkJoin joins
 	// before returning, so no worker outlives this call.
 	if err := robust.Safely(func() error {
-		_, sp := rec.StartSpan(sctx, "mtree.build.grow")
+		_, sp := rec.StartSpan(sctx, "mtree.build.presort")
+		b.initPresort(workers)
+		sp.End()
+		_, sp = rec.StartSpan(sctx, "mtree.build.grow")
 		root = b.grow(0, n, 0)
 		sp.End()
 		_, sp = rec.StartSpan(sctx, "mtree.build.fit")
@@ -237,19 +246,38 @@ func effectiveWorkers(w int) int {
 	return w
 }
 
-// builder holds the mutable induction state: three parallel arrays (row
-// views, responses, original sample indices) that grow reorders with
-// stable in-place partitions. After a node partitions its range [lo,hi)
-// at mid, the left subtree owns [lo,mid) and the right subtree owns
-// [mid,hi), so concurrent sibling work never overlaps and fitModels/prune
-// recover child ranges from Node.N instead of re-partitioning or copying.
+// builder holds the mutable induction state: two parallel arrays (row
+// views and responses) that grow reorders with stable in-place
+// partitions, plus the presorted split-search state. After a node
+// partitions its range [lo,hi) at mid, the left subtree owns [lo,mid)
+// and the right subtree owns [mid,hi), so concurrent sibling work never
+// overlaps and fitModels/prune recover child ranges from Node.N instead
+// of re-partitioning or copying.
+//
+// The split search never sorts per node. initPresort sorts each
+// attribute's sample ids once at the root by (value, id); partition then
+// stably partitions every order array alongside the row arrays, which
+// keeps each side sorted — so bestSplitForAttr is a pure linear scan at
+// every node. cols and ycol are immutable id-indexed mirrors backing
+// those scans with contiguous column reads.
 type builder struct {
 	xs     [][]float64
 	ys     []float64
-	ord    []int // original sample index, the deterministic sort tie-break
 	opts   Options
 	sdStop float64
 	sem    chan struct{} // grants for extra worker goroutines; nil = serial
+
+	// Presorted split-search state. cols[a][id] and ycol[id] are indexed
+	// by original sample id and never reordered; attrOrd[a][lo:hi] lists
+	// the ids of the samples in node range [lo,hi), ascending by
+	// (cols[a][id], id) — the same total order the seed implementation
+	// re-established with a per-node sort. badAttr marks columns holding
+	// a non-finite value, detected once at build start; such an attribute
+	// admits no split anywhere (the seed rescanned per node).
+	cols    [][]float64
+	ycol    []float64
+	attrOrd [][]int32
+	badAttr []bool
 
 	// Cancellation and failure state. ctx/cancel are nil for the bare
 	// builders of helpers like EvaluateSplits, which only use the split
@@ -294,12 +322,82 @@ func (b *builder) stopped() bool {
 	return b.ctx != nil && b.ctx.Err() != nil
 }
 
-func indicesUpTo(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// initPresort builds the per-attribute order arrays: one O(n log n) sort
+// per attribute at the root, fanned out across goroutines when the
+// builder has a worker pool. All later nodes maintain the orders with
+// O(attrs·n) stable partitions instead of re-sorting. The order arrays
+// share one int32 slab, mirroring the contiguous column slab they index.
+func (b *builder) initPresort(workers int) {
+	nAttrs := len(b.cols)
+	n := len(b.ycol)
+	slab := make([]int32, nAttrs*n)
+	b.attrOrd = make([][]int32, nAttrs)
+	for a := range b.attrOrd {
+		b.attrOrd[a] = slab[a*n : (a+1)*n : (a+1)*n]
 	}
-	return idx
+	b.badAttr = make([]bool, nAttrs)
+	if workers > 1 && nAttrs > 1 {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < min(workers, nAttrs); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if pe := robust.AsPanicError(recover()); pe != nil {
+						b.fail(pe)
+					}
+				}()
+				for {
+					a := int(next.Add(1)) - 1
+					if a >= nAttrs || b.stopped() {
+						return
+					}
+					b.presortAttr(a)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	for a := 0; a < nAttrs; a++ {
+		b.presortAttr(a)
+	}
+}
+
+// presortAttr validates one attribute column (the single-pass non-finite
+// backstop) and sorts its order array by (value, original sample id).
+// The sort key is a total order — ids are unique — so any comparison
+// sort yields the identical permutation; determinism does not depend on
+// the algorithm. A column with a NaN or Inf is marked bad and left
+// unsorted: comparisons against NaN are unordered and would silently
+// corrupt the order invariant, so the attribute admits no split at all.
+func (b *builder) presortAttr(a int) {
+	col := b.cols[a]
+	ord := b.attrOrd[a]
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	for _, v := range col {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.badAttr[a] = true
+			return
+		}
+	}
+	slices.SortFunc(ord, func(x, y int32) int {
+		vx, vy := col[x], col[y]
+		switch {
+		case vx < vy:
+			return -1
+		case vx > vy:
+			return 1
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	})
 }
 
 // parallelNodeThreshold is the subtree size below which sibling work stays
@@ -371,6 +469,7 @@ func (b *builder) grow(lo, hi, depth int) *Node {
 		return n
 	}
 	mid := b.partition(lo, hi, attr, thr)
+	b.partitionOrders(lo, hi, attr, thr)
 	if mid-lo < b.opts.MinLeaf || hi-mid < b.opts.MinLeaf {
 		return n
 	}
@@ -387,7 +486,7 @@ func (b *builder) grow(lo, hi, depth int) *Node {
 type partScratch struct {
 	xs  [][]float64
 	ys  []float64
-	ord []int
+	ids []int32
 }
 
 var partPool = sync.Pool{New: func() any { return new(partScratch) }}
@@ -399,23 +498,78 @@ var partPool = sync.Pool{New: func() any { return new(partScratch) }}
 // build — the root of the bit-for-bit determinism guarantee.
 func (b *builder) partition(lo, hi, attr int, thr float64) int {
 	sc := partPool.Get().(*partScratch)
-	sc.xs, sc.ys, sc.ord = sc.xs[:0], sc.ys[:0], sc.ord[:0]
+	sc.xs, sc.ys = sc.xs[:0], sc.ys[:0]
 	w := lo
 	for i := lo; i < hi; i++ {
 		if b.xs[i][attr] <= thr {
-			b.xs[w], b.ys[w], b.ord[w] = b.xs[i], b.ys[i], b.ord[i]
+			b.xs[w], b.ys[w] = b.xs[i], b.ys[i]
 			w++
 		} else {
 			sc.xs = append(sc.xs, b.xs[i])
 			sc.ys = append(sc.ys, b.ys[i])
-			sc.ord = append(sc.ord, b.ord[i])
 		}
 	}
 	copy(b.xs[w:hi], sc.xs)
 	copy(b.ys[w:hi], sc.ys)
-	copy(b.ord[w:hi], sc.ord)
 	partPool.Put(sc)
 	return w
+}
+
+// partitionOrders applies the node's split to every attribute order
+// array: each attrOrd[a][lo:hi] is stably partitioned by the same
+// predicate that partitioned the rows (cols[attr][id] <= thr, evaluated
+// on the immutable column mirror). A stable partition of a sorted slice
+// leaves both sides sorted, so the presort invariant — attrOrd[a] sorted
+// by (value, id) within every live node range — is maintained in
+// O(attrs·n) without any re-sort. Attribute fan-out mirrors bestSplit:
+// the arrays are independent, each goroutine writes only its own
+// attribute's [lo,hi) range, and sibling nodes own disjoint ranges.
+func (b *builder) partitionOrders(lo, hi, attr int, thr float64) {
+	split := b.cols[attr]
+	part := func(a int) {
+		if b.badAttr[a] {
+			return // never scanned, never sorted; nothing to maintain
+		}
+		sc := partPool.Get().(*partScratch)
+		sc.ids = sc.ids[:0]
+		ord := b.attrOrd[a]
+		w := lo
+		for i := lo; i < hi; i++ {
+			id := ord[i]
+			if split[id] <= thr {
+				ord[w] = id
+				w++
+			} else {
+				sc.ids = append(sc.ids, id)
+			}
+		}
+		copy(ord[w:hi], sc.ids)
+		partPool.Put(sc)
+	}
+	nAttrs := len(b.cols)
+	if hi-lo >= parallelSplitThreshold && nAttrs > 1 && b.sem != nil {
+		var wg sync.WaitGroup
+		for a := 0; a < nAttrs; a++ {
+			wg.Add(1)
+			go func(a int) {
+				defer wg.Done()
+				defer func() {
+					if pe := robust.AsPanicError(recover()); pe != nil {
+						b.fail(pe)
+					}
+				}()
+				if b.stopped() {
+					return
+				}
+				part(a)
+			}(a)
+		}
+		wg.Wait()
+		return
+	}
+	for a := 0; a < nAttrs; a++ {
+		part(a)
+	}
 }
 
 // bestSplit finds the (attribute, threshold) pair maximizing the standard
@@ -474,85 +628,69 @@ func (b *builder) bestSplit(lo, hi int) (attr int, threshold float64, ok bool) {
 // goroutine overhead would dominate their sort cost.
 const parallelSplitThreshold = 2048
 
-// splitScratch holds the per-scan working set of bestSplitForAttr, pooled
-// so concurrent attribute scans reuse buffers instead of allocating five
-// slices per (node, attribute) pair.
-type splitScratch struct {
-	order     []int
-	ysSorted  []float64
-	vals      []float64
-	prefixSum []float64
-	prefixSq  []float64
-}
-
-var splitPool = sync.Pool{New: func() any { return new(splitScratch) }}
-
-func (sc *splitScratch) resize(n int) {
-	if cap(sc.order) < n {
-		sc.order = make([]int, n)
-		sc.ysSorted = make([]float64, n)
-		sc.vals = make([]float64, n)
-		sc.prefixSum = make([]float64, n+1)
-		sc.prefixSq = make([]float64, n+1)
-	}
-	sc.order = sc.order[:n]
-	sc.ysSorted = sc.ysSorted[:n]
-	sc.vals = sc.vals[:n]
-	sc.prefixSum = sc.prefixSum[:n+1]
-	sc.prefixSq = sc.prefixSq[:n+1]
-}
-
 // bestSplitForAttr scans one attribute's value boundaries for the
-// threshold maximizing the SDR over the samples in [lo,hi).
+// threshold maximizing the SDR over the samples in [lo,hi). The samples
+// arrive already ordered by (value, original id) in attrOrd[a][lo:hi] —
+// established once by initPresort and maintained by partitionOrders —
+// so the scan is a pure linear pass: no sort, no scratch, no
+// allocation. The running sums accumulate in exactly the order the
+// seed's prefix-sum arrays did, so every SDR value, tie-break, and
+// midpoint threshold is bit-identical to the sort-per-node
+// implementation.
 func (b *builder) bestSplitForAttr(lo, hi, a int) (threshold, bestSDR float64, ok bool) {
 	n := hi - lo
-	if n < 2*b.opts.MinLeaf {
+	minLeaf := b.opts.MinLeaf
+	if n < 2*minLeaf {
+		return 0, 0, false
+	}
+	// A column holding a non-finite value admits no split: NaN breaks
+	// the order invariant (every comparison is unordered). Ingest
+	// rejects non-finite data; the flag is the build-start backstop for
+	// datasets assembled in memory.
+	if b.badAttr[a] {
 		return 0, 0, false
 	}
 	sdAll := popSDRange(b.ys, lo, hi)
 	if !(sdAll > 0) { // zero spread, or NaN from a corrupt response
 		return 0, 0, false
 	}
-	// Non-finite attribute values break the sort invariants (every
-	// comparison against NaN is false), which would silently corrupt
-	// threshold selection; such an attribute admits no split. Ingest
-	// rejects non-finite data, so this is a defensive backstop for
-	// datasets assembled in memory.
-	for i := lo; i < hi; i++ {
-		if v := b.xs[i][a]; math.IsNaN(v) || math.IsInf(v, 0) {
-			return 0, 0, false
-		}
-	}
-	sc := splitPool.Get().(*splitScratch)
-	defer splitPool.Put(sc)
-	sc.resize(n)
-	for i := range sc.order {
-		sc.order[i] = lo + i
-	}
-	sortByAttr(sc.order, b.xs, b.ord, a)
-	for i, p := range sc.order {
-		sc.ysSorted[i] = b.ys[p]
-		sc.vals[i] = b.xs[p][a]
-	}
-	// Prefix sums over the sorted responses for O(1) per-threshold SD.
+	ord := b.attrOrd[a][lo:hi]
+	col := b.cols[a]
+	ycol := b.ycol
+	// Totals first, in ascending-value order — the same accumulation the
+	// seed's prefix-sum construction performed.
 	var sum, sumsq float64
-	sc.prefixSum[0], sc.prefixSq[0] = 0, 0
-	for i, y := range sc.ysSorted {
+	for _, id := range ord {
+		y := ycol[id]
 		sum += y
 		sumsq += y * y
-		sc.prefixSum[i+1] = sum
-		sc.prefixSq[i+1] = sumsq
 	}
-	for cut := b.opts.MinLeaf; cut <= n-b.opts.MinLeaf; cut++ {
-		if sc.vals[cut-1] == sc.vals[cut] {
+	// One forward pass over the value boundaries, carrying the left-side
+	// running sums (identical floats to the seed's prefixSum[cut] /
+	// prefixSq[cut] lookups).
+	var runSum, runSq float64
+	for i := 0; i < n-1; i++ {
+		y := ycol[ord[i]]
+		runSum += y
+		runSq += y * y
+		cut := i + 1
+		if cut < minLeaf {
+			continue
+		}
+		if cut > n-minLeaf {
+			break
+		}
+		v0 := col[ord[i]]
+		v1 := col[ord[i+1]]
+		if v0 == v1 {
 			continue // not a value boundary
 		}
-		sdL := sdFromSums(sc.prefixSum[cut], sc.prefixSq[cut], cut)
-		sdR := sdFromSums(sum-sc.prefixSum[cut], sumsq-sc.prefixSq[cut], n-cut)
+		sdL := sdFromSums(runSum, runSq, cut)
+		sdR := sdFromSums(sum-runSum, sumsq-runSq, n-cut)
 		sdr := sdAll - (float64(cut)/float64(n))*sdL - (float64(n-cut)/float64(n))*sdR
 		if sdr > bestSDR+1e-15 {
 			bestSDR = sdr
-			threshold = (sc.vals[cut-1] + sc.vals[cut]) / 2
+			threshold = (v0 + v1) / 2
 			ok = true
 		}
 	}
@@ -978,12 +1116,7 @@ func subtreeSplitAttrs(n *Node) []int {
 	for a := range seen {
 		out = append(out, a)
 	}
-	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out) // deterministic order
 	return out
 }
 
@@ -1030,66 +1163,4 @@ func sdFromSums(sum, sumsq float64, n int) float64 {
 		v = 0
 	}
 	return math.Sqrt(v)
-}
-
-// sortByAttr sorts the position slice by the attribute value, ascending,
-// with the original sample index (ord) breaking ties — an order that does
-// not depend on how earlier partitions arranged the array, keeping the
-// scan deterministic.
-func sortByAttr(pos []int, xs [][]float64, ord []int, attr int) {
-	quickSortIdx(pos, func(a, b int) bool {
-		va, vb := xs[a][attr], xs[b][attr]
-		if va != vb {
-			return va < vb
-		}
-		return ord[a] < ord[b]
-	})
-}
-
-// quickSortIdx is pdqsort-free deterministic quicksort over ints with a
-// custom less; small slices use insertion sort.
-func quickSortIdx(s []int, less func(a, b int) bool) {
-	for len(s) > 12 {
-		// Median-of-three pivot.
-		m := len(s) / 2
-		hi := len(s) - 1
-		if less(s[m], s[0]) {
-			s[m], s[0] = s[0], s[m]
-		}
-		if less(s[hi], s[0]) {
-			s[hi], s[0] = s[0], s[hi]
-		}
-		if less(s[hi], s[m]) {
-			s[hi], s[m] = s[m], s[hi]
-		}
-		pivot := s[m]
-		i, j := 0, hi
-		for i <= j {
-			for less(s[i], pivot) {
-				i++
-			}
-			for less(pivot, s[j]) {
-				j--
-			}
-			if i <= j {
-				s[i], s[j] = s[j], s[i]
-				i++
-				j--
-			}
-		}
-		// Recurse on the smaller half, loop on the larger.
-		if j < len(s)-i {
-			quickSortIdx(s[:j+1], less)
-			s = s[i:]
-		} else {
-			quickSortIdx(s[i:], less)
-			s = s[:j+1]
-		}
-	}
-	// Insertion sort for the tail.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

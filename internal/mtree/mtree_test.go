@@ -401,6 +401,6 @@ func TestPartitionProperty(t *testing.T) {
 }
 
 func fitGlobalLinear(d *dataset.Dataset) interface{ Predict([]float64) float64 } {
-	b := &builder{xs: d.Xs(), ys: d.Ys(), ord: indicesUpTo(d.Len()), opts: DefaultOptions()}
+	b := &builder{xs: d.Xs(), ys: d.Ys(), opts: DefaultOptions()}
 	return b.fitSimplified(0, d.Len(), allAttrTerms(d.Samples[0].X))
 }

@@ -80,7 +80,7 @@ func TestFitSimplifiedUnderDetermined(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	b := &builder{xs: d.Xs(), ys: d.Ys(), ord: indicesUpTo(d.Len()), opts: DefaultOptions()}
+	b := &builder{xs: d.Xs(), ys: d.Ys(), opts: DefaultOptions()}
 	m := b.fitSimplified(0, d.Len(), []int{0, 1, 2})
 	if m == nil {
 		t.Fatal("fitSimplified returned nil")

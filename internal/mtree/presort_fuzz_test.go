@@ -1,0 +1,207 @@
+package mtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"specchar/internal/dataset"
+)
+
+// naiveBestSplitForAttr is the seed algorithm: sort the node's positions
+// by (attribute value, original sample id), take prefix sums over the
+// sorted responses, and scan every value boundary. The presorted linear
+// scan in bestSplitForAttr must pick the identical (threshold, SDR).
+//
+// ids[i] is the original sample id of the row now at position i; it
+// reproduces the seed's ord-based tie-break, which is what makes the
+// sort order (and hence the scan order) a total order.
+func naiveBestSplitForAttr(xs [][]float64, ys []float64, ids []int, lo, hi, a, minLeaf int) (threshold, bestSDR float64, ok bool) {
+	n := hi - lo
+	if n < 2*minLeaf {
+		return 0, 0, false
+	}
+	sdAll := popSDRange(ys, lo, hi)
+	if !(sdAll > 0) {
+		return 0, 0, false
+	}
+	for i := lo; i < hi; i++ {
+		if v := xs[i][a]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, false
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = lo + i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		pi, pj := order[i], order[j]
+		va, vb := xs[pi][a], xs[pj][a]
+		if va != vb {
+			return va < vb
+		}
+		return ids[pi] < ids[pj]
+	})
+	vals := make([]float64, n)
+	prefixSum := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	var sum, sumsq float64
+	for i, p := range order {
+		vals[i] = xs[p][a]
+		y := ys[p]
+		sum += y
+		sumsq += y * y
+		prefixSum[i+1] = sum
+		prefixSq[i+1] = sumsq
+	}
+	for cut := minLeaf; cut <= n-minLeaf; cut++ {
+		if vals[cut-1] == vals[cut] {
+			continue
+		}
+		sdL := sdFromSums(prefixSum[cut], prefixSq[cut], cut)
+		sdR := sdFromSums(sum-prefixSum[cut], sumsq-prefixSq[cut], n-cut)
+		sdr := sdAll - (float64(cut)/float64(n))*sdL - (float64(n-cut)/float64(n))*sdR
+		if sdr > bestSDR+1e-15 {
+			bestSDR = sdr
+			threshold = (vals[cut-1] + vals[cut]) / 2
+			ok = true
+		}
+	}
+	return threshold, bestSDR, ok
+}
+
+// fuzzDataset draws a tie-heavy random dataset: attribute values come
+// from small discrete pools so duplicate values (the tie-break and
+// boundary-skip paths) occur constantly.
+func fuzzDataset(r *rngSrc, n, nAttrs int) *dataset.Dataset {
+	attrs := make([]string, nAttrs)
+	for a := range attrs {
+		attrs[a] = string(rune('a' + a))
+	}
+	d := dataset.New(&dataset.Schema{Response: "y", Attributes: attrs})
+	pool := 2 + int(r.next()%8) // values per attribute: 2..9 distinct
+	for i := 0; i < n; i++ {
+		x := make([]float64, nAttrs)
+		for a := range x {
+			x[a] = float64(r.next()%uint64(pool)) / float64(pool)
+		}
+		y := r.float()
+		if r.next()%3 == 0 {
+			y = math.Floor(y*4) / 4 // tie responses too
+		}
+		d.Samples = append(d.Samples, dataset.Sample{X: x, Y: y})
+	}
+	return d
+}
+
+// rngSrc is a deterministic SplitMix64 for fuzz data.
+type rngSrc uint64
+
+func (r *rngSrc) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rngSrc) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// newFuzzBuilder wires a presorted builder plus the shadow id array the
+// naive reference needs to reproduce the seed tie-break.
+func newFuzzBuilder(d *dataset.Dataset, minLeaf int) (*builder, []int) {
+	opts := DefaultOptions()
+	opts.MinLeaf = minLeaf
+	b := &builder{
+		xs:   d.Xs(),
+		ys:   d.Ys(),
+		cols: d.Columns(),
+		ycol: d.Ys(),
+		opts: opts,
+	}
+	nAttrs := d.Schema.NumAttrs()
+	b.attrOrd = make([][]int32, nAttrs)
+	for a := range b.attrOrd {
+		b.attrOrd[a] = make([]int32, d.Len())
+	}
+	b.badAttr = make([]bool, nAttrs)
+	for a := 0; a < nAttrs; a++ {
+		b.presortAttr(a)
+	}
+	ids := make([]int, d.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	return b, ids
+}
+
+// shadowPartition mirrors builder.partition's stable split on the test's
+// id array so original sample ids keep tracking their rows.
+func shadowPartition(xs [][]float64, ids []int, lo, hi, attr int, thr float64) {
+	var right []int
+	w := lo
+	for i := lo; i < hi; i++ {
+		if xs[i][attr] <= thr {
+			ids[w] = ids[i]
+			w++
+		} else {
+			right = append(right, ids[i])
+		}
+	}
+	copy(ids[w:hi], right)
+}
+
+// TestPresortedSplitMatchesNaiveRoot fuzzes the root-level split search:
+// on hundreds of tie-heavy datasets, every attribute's presorted linear
+// scan must return exactly the (threshold, SDR, ok) of the seed's
+// sort-then-scan algorithm.
+func TestPresortedSplitMatchesNaiveRoot(t *testing.T) {
+	r := rngSrc(0x5bec)
+	for trial := 0; trial < 250; trial++ {
+		n := 8 + int(r.next()%120)
+		nAttrs := 1 + int(r.next()%5)
+		minLeaf := 1 + int(r.next()%5)
+		d := fuzzDataset(&r, n, nAttrs)
+		b, ids := newFuzzBuilder(d, minLeaf)
+		for a := 0; a < nAttrs; a++ {
+			gotThr, gotSDR, gotOK := b.bestSplitForAttr(0, n, a)
+			wantThr, wantSDR, wantOK := naiveBestSplitForAttr(b.xs, b.ys, ids, 0, n, a, minLeaf)
+			if gotThr != wantThr || gotSDR != wantSDR || gotOK != wantOK {
+				t.Fatalf("trial %d attr %d (n=%d minLeaf=%d): presorted (%v, %v, %v) != naive (%v, %v, %v)",
+					trial, a, n, minLeaf, gotThr, gotSDR, gotOK, wantThr, wantSDR, wantOK)
+			}
+		}
+	}
+}
+
+// TestPresortedSplitMatchesNaiveAfterPartition checks the order-array
+// maintenance: after partitioning on the best root split, both child
+// ranges must still agree with the naive reference — i.e. the stable
+// partition really does keep every attribute's order array sorted.
+func TestPresortedSplitMatchesNaiveAfterPartition(t *testing.T) {
+	r := rngSrc(0xfaced)
+	for trial := 0; trial < 150; trial++ {
+		n := 20 + int(r.next()%150)
+		nAttrs := 2 + int(r.next()%4)
+		minLeaf := 1 + int(r.next()%4)
+		d := fuzzDataset(&r, n, nAttrs)
+		b, ids := newFuzzBuilder(d, minLeaf)
+		attr, thr, ok := b.bestSplit(0, n)
+		if !ok {
+			continue
+		}
+		shadowPartition(b.xs, ids, 0, n, attr, thr) // before partition permutes the rows
+		mid := b.partition(0, n, attr, thr)
+		b.partitionOrders(0, n, attr, thr)
+		for _, rg := range [][2]int{{0, mid}, {mid, n}} {
+			for a := 0; a < nAttrs; a++ {
+				gotThr, gotSDR, gotOK := b.bestSplitForAttr(rg[0], rg[1], a)
+				wantThr, wantSDR, wantOK := naiveBestSplitForAttr(b.xs, b.ys, ids, rg[0], rg[1], a, minLeaf)
+				if gotThr != wantThr || gotSDR != wantSDR || gotOK != wantOK {
+					t.Fatalf("trial %d range [%d,%d) attr %d: presorted (%v, %v, %v) != naive (%v, %v, %v)",
+						trial, rg[0], rg[1], a, gotThr, gotSDR, gotOK, wantThr, wantSDR, wantOK)
+				}
+			}
+		}
+	}
+}

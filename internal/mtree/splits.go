@@ -51,9 +51,19 @@ func EvaluateSplitsContext(ctx context.Context, d *dataset.Dataset, opts Options
 	if opts.MinLeaf < 1 {
 		opts.MinLeaf = 1
 	}
-	b := &builder{xs: d.Xs(), ys: d.Ys(), ord: indicesUpTo(d.Len()), opts: opts}
-	out := make([]SplitCandidate, d.Schema.NumAttrs())
+	b := &builder{xs: d.Xs(), ys: d.Ys(), cols: d.Columns(), ycol: d.Ys(), opts: opts}
+	nAttrs := d.Schema.NumAttrs()
+	b.attrOrd = make([][]int32, nAttrs)
+	for a := range b.attrOrd {
+		b.attrOrd[a] = make([]int32, d.Len())
+	}
+	b.badAttr = make([]bool, nAttrs)
+	out := make([]SplitCandidate, nAttrs)
 	scan := func(a int) {
+		// Each attribute presorts its own order array inside the scan
+		// closure, so the one-off sort cost rides the same worker fan-out
+		// the per-node sorts of the seed implementation did.
+		b.presortAttr(a)
 		thr, sdr, ok := b.bestSplitForAttr(0, d.Len(), a)
 		out[a] = SplitCandidate{Attr: a, Threshold: thr, SDR: sdr, Valid: ok}
 		if a < len(d.Schema.Attributes) {

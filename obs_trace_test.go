@@ -68,6 +68,7 @@ func TestSpanCoverage(t *testing.T) {
 		"suites.generate",
 		"dataset.ingest",
 		"mtree.build",
+		"mtree.build.presort",
 		"mtree.build.grow",
 		"mtree.build.fit",
 		"mtree.build.prune",

@@ -1,0 +1,76 @@
+package specchar
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specchar/internal/mtree"
+	"specchar/internal/suites"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden tree fixtures")
+
+// TestPresortGoldenTrees is the acceptance gate for the presorted split
+// search: trees induced by the order-array implementation must serialize
+// to the exact bytes the seed (per-node quicksort) implementation
+// produced, on both suites, at every tested worker count. The fixtures
+// under testdata/ were captured from the seed implementation; rerun with
+// -update only for an intentional model change.
+func TestPresortGoldenTrees(t *testing.T) {
+	for _, tc := range []struct {
+		suite   *suites.Suite
+		fixture string
+	}{
+		{suites.CPU2006(), "golden_cpu2006_tree.json"},
+		{suites.OMP2001(), "golden_omp2001_tree.json"},
+	} {
+		t.Run(tc.suite.Name, func(t *testing.T) {
+			gen := suites.DefaultGenOptions()
+			gen.SamplesPerBenchmark = 60
+			gen.OpsPerWindow = 512
+			gen.WarmupOps = 8000
+			d, err := suites.Generate(tc.suite, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := mtree.DefaultOptions()
+			opts.MinLeaf = 10
+
+			path := filepath.Join("testdata", tc.fixture)
+			var want []byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				opts.Workers = workers
+				tree, err := mtree.Build(d, opts)
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := tree.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				got := buf.Bytes()
+				if want == nil {
+					if *updateGolden {
+						if err := os.MkdirAll("testdata", 0o755); err != nil {
+							t.Fatal(err)
+						}
+						if err := os.WriteFile(path, got, 0o644); err != nil {
+							t.Fatal(err)
+						}
+					}
+					want, err = os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing fixture (rerun with -update): %v", err)
+					}
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("Workers=%d: tree differs from the seed fixture %s (%d vs %d bytes)",
+						workers, tc.fixture, len(got), len(want))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Runs the build/predict benchmarks and writes a JSON evidence file via
+# cmd/benchjson. The checked-in BENCH_PR5.json was produced by this
+# script; the embedded baselines are the pre-PR (per-node quicksort,
+# row-major QR) measurements on the same container, so the speedup
+# fields document the presorted induction path's win directly.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+benchtime="${BENCHTIME:-6x}"
+
+# Pre-PR baselines (ns/op) measured at commit b6c7297 with the same
+# -benchtime: the numbers BenchmarkBuildSerial/Parallel reported before
+# the presorted split search and prefix-reusing Simplify landed.
+go test -run '^$' -bench 'BenchmarkBuild|BenchmarkPredict' \
+    -benchtime "$benchtime" -benchmem . |
+    tee /dev/stderr |
+    go run ./cmd/benchjson \
+        -label "PR5 presorted column-major induction" \
+        -baseline BenchmarkBuildSerial=268747454 \
+        -baseline BenchmarkBuildParallel=270228908 \
+        -o "$out"
+echo "wrote $out" >&2
