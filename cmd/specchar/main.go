@@ -10,6 +10,7 @@
 //	specchar datagen      -suite cpu2006|omp2001 [-o file] [-format csv|arff] [-quick] [-seed N]
 //	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N] [-eval F] [-workers N]
 //	specchar characterize -suite cpu2006|omp2001 [-quick]
+//	specchar compile      -suite cpu2006|omp2001 -o model.sct [-quick]
 //	specchar transfer     [-quick]
 //
 // For the full per-table/per-figure reproduction, see cmd/experiments.
@@ -118,6 +119,8 @@ func main() {
 		err = runCompare(ctx, args)
 	case "bench":
 		err = runBench(ctx, args)
+	case "compile":
+		err = runCompile(ctx, args)
 	case "importance":
 		err = runStudyReport(ctx, args, func(st *specchar.Study) (string, error) { return st.ImportanceReport(3) })
 	case "phases":
@@ -156,6 +159,7 @@ commands:
   subset        select a representative benchmark subset (PCA + clustering)
   compare       compare M5' against linear/kNN/MLP baselines (paper ref [15])
   bench         per-benchmark characterization report (CPI, classes, events, neighbours)
+  compile       train a suite tree and write a compiled-tree artifact for specchard
   importance    permutation variable importance for both suite trees
   phases        phase detection validated against generator ground truth
   cpistack      exact per-benchmark cycle attribution
@@ -318,6 +322,64 @@ func runTree(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("\nheld-out accuracy (%d samples): %s\n", test.Len(), rep)
 	}
+	return nil
+}
+
+// runCompile trains a suite tree, compiles it, and writes the versioned
+// binary artifact specchard serves (see internal/mtree/artifact.go).
+func runCompile(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2006|omp2001)")
+	outFlag := fs.String("o", "", "output artifact file (required)")
+	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
+	minLeaf := fs.Int("minleaf", 35, "minimum samples per leaf branch")
+	seedFlag := fs.Uint64("seed", 0, "generation seed override")
+	workersFlag := fs.Int("workers", 0, "induction worker count (0 = all cores, 1 = serial)")
+	fs.Parse(args)
+	if *outFlag == "" {
+		return errors.New("compile: -o artifact path is required")
+	}
+
+	s, err := suiteByName(*suiteFlag)
+	if err != nil {
+		return err
+	}
+	d, err := suites.GenerateContext(ctx, s, genOptions(*quickFlag, *seedFlag))
+	if err != nil {
+		return err
+	}
+	opts := mtree.DefaultOptions()
+	opts.MinLeaf = *minLeaf
+	opts.Workers = *workersFlag
+	if *quickFlag && *minLeaf == 35 {
+		opts.MinLeaf = 10
+	}
+	tree, err := mtree.BuildContext(ctx, d, opts)
+	if err != nil {
+		return err
+	}
+	ctree, err := tree.CompileContext(ctx)
+	if err != nil {
+		return err
+	}
+	if obsRun.Enabled() {
+		obsRun.Manifest.AddDataset(d.Shape(s.Name))
+		obsRun.Manifest.AddTree(tree.Summarize(s.Name))
+	}
+	p, err := robust.CreateAtomic(*outFlag)
+	if err != nil {
+		return err
+	}
+	defer p.Abort()
+	n, err := ctree.WriteTo(p)
+	if err != nil {
+		return err
+	}
+	if err := p.Commit(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d samples, %d leaf models, %d bytes -> %s\n",
+		s.Name, d.Len(), ctree.NumLeaves(), n, *outFlag)
 	return nil
 }
 

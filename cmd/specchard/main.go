@@ -1,0 +1,325 @@
+// Command specchard is the characterization scoring daemon: a long-lived
+// HTTP service that scores samples against compiled M5' model trees held
+// in a versioned in-memory registry. Models load at startup from
+// artifacts (-model) or by training a suite in-process (-train), and
+// hot-swap at runtime through PUT /v1/models/{name} with zero failed
+// requests.
+//
+// Usage:
+//
+//	specchard [-addr host:port] [-model name=artifact.sct ...]
+//	          [-train cpu2006,omp2001] [-quick]
+//	          [-workers N] [-max-batch N] [-batch-wait D] [-max-pending N]
+//	          [-drain D] [-log-json]
+//	specchard -selfbench [-selfbench-duration D]
+//
+// Endpoints:
+//
+//	POST   /v1/score          score {"model": ..., "samples": [[...]]}
+//	GET    /v1/models         list loaded models
+//	GET    /v1/models/{name}  one model's version and shape
+//	PUT    /v1/models/{name}  load or hot-swap from an artifact body
+//	DELETE /v1/models/{name}  unload
+//	GET    /healthz           liveness
+//	GET    /metrics           Prometheus text exposition
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, waits up to
+// -drain for in-flight requests, scores everything already admitted to
+// the batch queues, and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"specchar/internal/mtree"
+	"specchar/internal/obs"
+	"specchar/internal/registry"
+	"specchar/internal/serve"
+	"specchar/internal/suites"
+)
+
+// modelFlags collects repeatable -model name=path pairs.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, e := range *m {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specchard: ")
+	var models modelFlags
+	addr := flag.String("addr", "127.0.0.1:8572", "listen address")
+	flag.Var(&models, "model", "load a compiled-tree artifact as name=path (repeatable)")
+	train := flag.String("train", "", "comma-separated suites to train and load at startup (cpu2006,omp2001)")
+	quick := flag.Bool("quick", false, "reduced-scale -train generation")
+	workers := flag.Int("workers", 0, "goroutine bound per scoring batch (0 = serve default)")
+	maxBatch := flag.Int("max-batch", 0, "max samples per scoring batch (0 = serve default)")
+	batchWait := flag.Duration("batch-wait", 0, "linger for stragglers once a batch is open (0 = serve default)")
+	maxPending := flag.Int("max-pending", 0, "admission bound: queued samples per model (0 = serve default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	logJSON := flag.Bool("log-json", false, "stream the span trace as JSON Lines to stderr")
+	selfbench := flag.Bool("selfbench", false, "start an ephemeral daemon, load-test it at batch 1/16/64, print JSON, exit")
+	selfbenchDur := flag.Duration("selfbench-duration", 3*time.Second, "duration of each -selfbench phase")
+	flag.Parse()
+
+	if err := run(*addr, models, *train, *quick, *workers, *maxBatch, *batchWait,
+		*maxPending, *drain, *logJSON, *selfbench, *selfbenchDur); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, models modelFlags, train string, quick bool,
+	workers, maxBatch int, batchWait time.Duration, maxPending int,
+	drain time.Duration, logJSON, selfbench bool, selfbenchDur time.Duration) error {
+	var sinks []obs.Sink
+	if logJSON {
+		sinks = append(sinks, obs.NewJSONLSink(os.Stderr))
+	}
+	rec := obs.New(sinks...)
+	reg := registry.New()
+
+	if selfbench {
+		return runSelfbench(rec, reg, workers, maxBatch, batchWait, maxPending, selfbenchDur)
+	}
+
+	if err := loadModels(reg, models, train, quick); err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Registry:   reg,
+		Recorder:   rec,
+		MaxBatch:   maxBatch,
+		BatchWait:  batchWait,
+		MaxPending: maxPending,
+		Workers:    workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("listening on %s (%d models loaded)", ln.Addr(), reg.Len())
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // second signal kills the process the default way
+	log.Printf("shutting down: draining in-flight requests (budget %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		log.Printf("drain budget exhausted: %v", err)
+	}
+	// Handlers have returned; score whatever the batch queues still hold.
+	srv.Close()
+	log.Print("drained; bye")
+	return nil
+}
+
+// loadModels fills the registry from -model artifacts and -train suites.
+// A daemon with zero models is almost certainly a misconfiguration, so it
+// refuses to start silently empty unless nothing was requested at all
+// (models then arrive via PUT).
+func loadModels(reg *registry.Registry, models modelFlags, train string, quick bool) error {
+	for _, e := range models {
+		f, err := os.Open(e.path)
+		if err != nil {
+			return err
+		}
+		tree, err := mtree.ReadCompiled(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", e.path, err)
+		}
+		m, err := reg.Load(e.name, tree, e.path)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %q v%d from %s (%d attrs, %d leaves)",
+			m.Name, m.Version, e.path, tree.NumAttrs(), tree.NumLeaves())
+	}
+	if train != "" {
+		for _, name := range strings.Split(train, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			tree, err := trainSuite(name, quick)
+			if err != nil {
+				return err
+			}
+			m, err := reg.Load(name, tree, "train")
+			if err != nil {
+				return err
+			}
+			log.Printf("trained %q v%d (%d attrs, %d leaves)",
+				m.Name, m.Version, tree.NumAttrs(), tree.NumLeaves())
+		}
+	}
+	return nil
+}
+
+// trainSuite generates a suite dataset and induces + compiles its tree,
+// mirroring what `specchar compile` writes to an artifact.
+func trainSuite(name string, quick bool) (*mtree.CompiledTree, error) {
+	var s *suites.Suite
+	switch name {
+	case "cpu2006":
+		s = suites.CPU2006()
+	case "omp2001":
+		s = suites.OMP2001()
+	default:
+		return nil, fmt.Errorf("unknown suite %q (want cpu2006 or omp2001)", name)
+	}
+	gen := suites.DefaultGenOptions()
+	opts := mtree.DefaultOptions()
+	opts.MinLeaf = 35
+	if quick {
+		gen.SamplesPerBenchmark = 40
+		gen.OpsPerWindow = 512
+		gen.WarmupOps = 8000
+		opts.MinLeaf = 10
+	}
+	d, err := suites.Generate(s, gen)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := mtree.Build(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return tree.Compile()
+}
+
+// runSelfbench starts an ephemeral daemon on a loopback port with a
+// quick-trained cpu2006 model, drives it at batch sizes 1, 16 and 64
+// with serve.RunLoad, and prints one JSON document of the results —
+// the source of BENCH_PR6.json.
+func runSelfbench(rec *obs.Recorder, reg *registry.Registry,
+	workers, maxBatch int, batchWait time.Duration, maxPending int,
+	dur time.Duration) error {
+	log.Print("selfbench: training quick cpu2006 model")
+	tree, err := trainSuite("cpu2006", true)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Load("cpu2006", tree, "selfbench"); err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Registry:   reg,
+		Recorder:   rec,
+		MaxBatch:   maxBatch,
+		BatchWait:  batchWait,
+		MaxPending: maxPending,
+		Workers:    workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A pool of schema-width sample vectors drawn from the suite's
+	// generator, so requests exercise real split paths.
+	samples, err := benchSamples(tree)
+	if err != nil {
+		return err
+	}
+	conc := 4 * runtime.GOMAXPROCS(0)
+	results := make([]*serve.LoadResult, 0, 3)
+	for _, batch := range []int{1, 16, 64} {
+		log.Printf("selfbench: batch %d, concurrency %d, %s", batch, conc, dur)
+		res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+			URL:         base,
+			Model:       "cpu2006",
+			Samples:     samples,
+			Batch:       batch,
+			Concurrency: conc,
+			Duration:    dur,
+		})
+		if err != nil {
+			// Saturation 429s are data, not faults; report and keep going.
+			log.Printf("selfbench: batch %d: %v", batch, err)
+		}
+		if res != nil {
+			results = append(results, res)
+		}
+	}
+	doc := map[string]any{
+		"bench":      "specchard selfbench",
+		"model":      "cpu2006 (quick)",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"phases":     results,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// benchSamples generates a pool of predictor vectors for the load test
+// from the quick cpu2006 dataset.
+func benchSamples(tree *mtree.CompiledTree) ([][]float64, error) {
+	gen := suites.DefaultGenOptions()
+	gen.SamplesPerBenchmark = 8
+	gen.OpsPerWindow = 512
+	gen.WarmupOps = 8000
+	d, err := suites.Generate(suites.CPU2006(), gen)
+	if err != nil {
+		return nil, err
+	}
+	if d.Schema.NumAttrs() != tree.NumAttrs() {
+		return nil, errors.New("selfbench: generated samples do not match the model schema")
+	}
+	rows := make([][]float64, d.Len())
+	for i := range rows {
+		rows[i] = d.Samples[i].X
+	}
+	return rows, nil
+}

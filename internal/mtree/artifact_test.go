@@ -1,0 +1,195 @@
+package mtree
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// compiledForArtifact builds a smoothed reference tree and its compiled
+// form for the artifact tests.
+func compiledForArtifact(t *testing.T) (*Tree, *CompiledTree) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.MinLeaf = 10
+	tree, err := Build(piecewiseDataset(1500, 9, 0.2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, c
+}
+
+// artifactBytes serializes a compiled tree to memory.
+func artifactBytes(t *testing.T, c *CompiledTree) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// The deploy-path guarantee: an artifact written from Tree.Compile() and
+// loaded by ReadCompiled must predict within 1e-9 of a fresh Compile()
+// (bit-exactly, in fact — the coefficients are stored as raw IEEE-754
+// bits) and agree exactly on leaf classification.
+func TestArtifactRoundTripMatchesCompile(t *testing.T) {
+	tree, c := compiledForArtifact(t)
+	got, err := ReadCompiled(bytes.NewReader(artifactBytes(t, c)))
+	if err != nil {
+		t.Fatalf("ReadCompiled: %v", err)
+	}
+	if got.NumLeaves() != c.NumLeaves() || got.NumNodes() != c.NumNodes() ||
+		got.Smoothed() != c.Smoothed() || got.NumAttrs() != c.NumAttrs() {
+		t.Fatalf("shape changed across round trip: %d/%d leaves, %d/%d nodes",
+			got.NumLeaves(), c.NumLeaves(), got.NumNodes(), c.NumNodes())
+	}
+	if got.Schema().Response != c.Schema().Response ||
+		len(got.Schema().Attributes) != len(c.Schema().Attributes) {
+		t.Fatal("schema changed across round trip")
+	}
+	d := piecewiseDataset(600, 9, 0.3)
+	for i, s := range d.Samples {
+		want, have := c.Predict(s.X), got.Predict(s.X)
+		if !closeEnough(want, have) {
+			t.Fatalf("sample %d: loaded artifact predicts %v, Compile() predicts %v", i, have, want)
+		}
+		if got.ClassifyLeaf(s.X) != c.ClassifyLeaf(s.X) {
+			t.Fatalf("sample %d: leaf id changed across round trip", i)
+		}
+	}
+	// And the interpreted tree agrees within the standard tolerance, so
+	// the artifact path composes with the usual equivalence guarantee.
+	for i, s := range d.Samples {
+		if !closeEnough(tree.Predict(s.X), got.Predict(s.X)) {
+			t.Fatalf("sample %d: artifact diverges from interpreted tree", i)
+		}
+	}
+	// Second serialization is byte-identical (the format is canonical).
+	if !bytes.Equal(artifactBytes(t, got), artifactBytes(t, c)) {
+		t.Error("round-tripped artifact serializes differently")
+	}
+}
+
+// A single-leaf tree (no interior nodes) is a valid degenerate artifact.
+func TestArtifactSingleLeaf(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxDepth = 1
+	opts.MinSplit = 1 << 30 // force a leaf-only tree
+	tree, err := Build(piecewiseDataset(100, 2, 0.2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompiled(bytes.NewReader(artifactBytes(t, c)))
+	if err != nil {
+		t.Fatalf("ReadCompiled(single leaf): %v", err)
+	}
+	x := make([]float64, c.NumAttrs())
+	if got.Predict(x) != c.Predict(x) {
+		t.Error("single-leaf artifact predicts differently")
+	}
+}
+
+// Corruption must never load: every flipped byte is caught by the CRC
+// (or by structural validation), truncations and trailing garbage are
+// rejected, and foreign files fail on the magic.
+func TestArtifactRejectsCorruption(t *testing.T) {
+	_, c := compiledForArtifact(t)
+	art := artifactBytes(t, c)
+
+	t.Run("bit flips", func(t *testing.T) {
+		// Flip one byte at a spread of offsets covering header, schema,
+		// node arrays, coefficients and the checksum itself.
+		for off := 0; off < len(art); off += 1 + len(art)/97 {
+			mut := append([]byte(nil), art...)
+			mut[off] ^= 0x40
+			if _, err := ReadCompiled(bytes.NewReader(mut)); err == nil {
+				t.Errorf("byte flip at offset %d accepted", off)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, cut := range []int{1, 4, len(art) / 2, len(art) - 1} {
+			if _, err := ReadCompiled(bytes.NewReader(art[:cut])); !errors.Is(err, ErrArtifact) {
+				t.Errorf("truncated to %d bytes: err = %v, want ErrArtifact", cut, err)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		for _, tail := range [][]byte{{0}, []byte("x"), art} {
+			mut := append(append([]byte(nil), art...), tail...)
+			if _, err := ReadCompiled(bytes.NewReader(mut)); !errors.Is(err, ErrArtifact) {
+				t.Errorf("trailing %d bytes: err = %v, want ErrArtifact", len(tail), err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		mut := append([]byte(nil), art...)
+		copy(mut, "NOTATREE")
+		if _, err := ReadCompiled(bytes.NewReader(mut)); !errors.Is(err, ErrArtifact) {
+			t.Errorf("bad magic: err = %v, want ErrArtifact", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		mut := append([]byte(nil), art...)
+		mut[8] = 0xFF // version lives right after the 8-byte magic
+		if _, err := ReadCompiled(bytes.NewReader(mut)); !errors.Is(err, ErrArtifact) {
+			t.Errorf("future version: err = %v, want ErrArtifact", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ReadCompiled(bytes.NewReader(nil)); !errors.Is(err, ErrArtifact) {
+			t.Errorf("empty input: err = %v, want ErrArtifact", err)
+		}
+	})
+}
+
+// FuzzReadCompiled: arbitrary bytes must never panic the loader, and
+// anything it accepts must be safely scoreable and round-trippable.
+func FuzzReadCompiled(f *testing.F) {
+	opts := DefaultOptions()
+	opts.MinLeaf = 8
+	tree, err := Build(piecewiseDataset(200, 3, 0.2), opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(artifactMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCompiled(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		x := make([]float64, got.NumAttrs())
+		got.Predict(x)
+		got.ClassifyLeaf(x)
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted artifact failed to re-serialize: %v", err)
+		}
+		if _, err := ReadCompiled(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-serialized artifact failed to load: %v", err)
+		}
+	})
+}

@@ -40,12 +40,20 @@ import (
 )
 
 // CompiledTree is the flat, immutable evaluation form of a Tree. All
-// methods are safe for concurrent use; only Workers is mutable and must
-// be set before sharing the value across goroutines.
+// methods are safe for concurrent use on a tree whose Workers field is
+// left alone after it is first shared; callers that need different worker
+// bounds per call site should derive per-bound views with WithWorkers
+// instead of mutating the shared value.
 type CompiledTree struct {
 	// Workers bounds the goroutines used by batch scoring, exactly like
 	// Options.Workers: 0 uses runtime.GOMAXPROCS, 1 forces serial
 	// operation. Initialized from the source tree's Options.
+	//
+	// Deprecated: assigning Workers on a tree already visible to other
+	// goroutines is a data race (batch scoring reads it concurrently).
+	// The field keeps working for single-owner setups — set it before the
+	// tree is shared — but new code should use WithWorkers, which returns
+	// an immutable per-bound view and never touches shared state.
 	Workers int
 
 	schema *dataset.Schema
@@ -188,6 +196,22 @@ func accumulateModel(acc []float64, intercept *float64, m *linreg.Model, weight 
 	for j, term := range m.Terms {
 		acc[term] += weight * m.Coef[j]
 	}
+}
+
+// WithWorkers returns a view of the tree whose batch scoring uses the
+// given worker bound (0 = runtime.GOMAXPROCS, 1 = serial). The view is a
+// shallow copy sharing every node and coefficient slab with the receiver,
+// which is left untouched — the copy-on-set replacement for mutating the
+// Workers field on a tree shared across goroutines (a registry serving
+// many request goroutines, for example). Views are as immutable as the
+// tree itself and safe to create concurrently.
+func (c *CompiledTree) WithWorkers(n int) *CompiledTree {
+	if n == c.Workers {
+		return c
+	}
+	cp := *c
+	cp.Workers = n
+	return &cp
 }
 
 // Schema returns the schema the tree was trained under.

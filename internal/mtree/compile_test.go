@@ -2,7 +2,9 @@ package mtree
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"specchar/internal/dataset"
@@ -214,5 +216,89 @@ func TestEvaluateSplitsParallelDeterministic(t *testing.T) {
 				t.Fatalf("workers=%d candidate %d: %+v, serial %+v", workers, i, got[i], serial[i])
 			}
 		}
+	}
+}
+
+// One compiled tree shared read-only across many scoring goroutines — the
+// registry/serving access pattern — must be race-free, and WithWorkers
+// views must let each goroutine pick its own worker bound without
+// mutating the shared value. Run under -race this pins the
+// shared-mutable-Workers fix: the old pattern (every goroutine assigning
+// ctree.Workers before scoring) was a data race by construction.
+func TestCompiledSharedScoringNoRace(t *testing.T) {
+	d := piecewiseDataset(2000, 7, 0.2)
+	opts := DefaultOptions()
+	opts.MinLeaf = 10
+	tree, err := Build(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := shared.WithWorkers(1).PredictDataset(d)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mixed worker bounds per goroutine, all derived views of the
+			// one shared tree; the shared value is never written.
+			view := shared.WithWorkers(g%4 + 1)
+			if view.NumLeaves() != shared.NumLeaves() {
+				errs <- fmt.Errorf("goroutine %d: view lost structure", g)
+				return
+			}
+			got := view.PredictDataset(d)
+			for i := range got {
+				if got[i] != want[i] {
+					errs <- fmt.Errorf("goroutine %d sample %d: %v != %v", g, i, got[i], want[i])
+					return
+				}
+			}
+			for i, s := range d.Samples {
+				if shared.ClassifyLeaf(s.X) != view.ClassifyLeaf(s.X) {
+					errs <- fmt.Errorf("goroutine %d sample %d: leaf mismatch", g, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if shared.Workers != tree.Opts.Workers {
+		t.Errorf("shared tree Workers mutated to %d", shared.Workers)
+	}
+}
+
+// WithWorkers is copy-on-set: same bound returns the receiver, a new
+// bound returns a view sharing the model but not the setting.
+func TestWithWorkers(t *testing.T) {
+	tree, err := Build(piecewiseDataset(300, 3, 0.2), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WithWorkers(c.Workers) != c {
+		t.Error("WithWorkers(same) should return the receiver")
+	}
+	v := c.WithWorkers(c.Workers + 3)
+	if v == c || v.Workers != c.Workers+3 {
+		t.Errorf("WithWorkers view wrong: %p vs %p, workers %d", v, c, v.Workers)
+	}
+	x := make([]float64, c.NumAttrs())
+	if c.Predict(x) != v.Predict(x) {
+		t.Error("view predicts differently from its source")
 	}
 }

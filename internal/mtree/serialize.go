@@ -65,12 +65,21 @@ func toNodeJSON(n *Node) *nodeJSON {
 }
 
 // ReadJSON reconstructs a tree serialized by WriteJSON, revalidating its
-// structure and renumbering the leaves.
+// structure and renumbering the leaves. The reader must hold exactly one
+// tree document (trailing whitespace aside): anything after it — a second
+// document, or the tail of a truncated-then-concatenated artifact — is an
+// error rather than silently ignored, so a corrupted model file can never
+// load as whatever valid prefix it happens to start with.
 func ReadJSON(r io.Reader) (*Tree, error) {
 	var tj treeJSON
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&tj); err != nil {
 		return nil, fmt.Errorf("mtree: decoding tree: %w", err)
+	}
+	// Decode stops at the end of the first value; Token skips whitespace
+	// and must now see a clean EOF.
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("mtree: trailing data after tree document (next token %v, err %v)", tok, err)
 	}
 	if tj.Version != serializeVersion {
 		return nil, fmt.Errorf("mtree: unsupported tree format version %d", tj.Version)

@@ -124,3 +124,40 @@ func FuzzReadJSON(f *testing.F) {
 		}
 	})
 }
+
+// ReadJSON must consume exactly one tree document. Before this was
+// enforced, a registry artifact corrupted by truncation-then-concatenation
+// (two writes landing in one file, a partial old model after a new one)
+// loaded silently as whatever valid document it started with.
+func TestReadJSONRejectsTrailingData(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MinLeaf = 8
+	tree, err := Build(piecewiseDataset(200, 3, 0.2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+
+	// Trailing whitespace is fine (WriteJSON itself ends with a newline).
+	for _, ok := range []string{doc, doc + "\n\t  \n"} {
+		if _, err := ReadJSON(strings.NewReader(ok)); err != nil {
+			t.Errorf("clean document rejected: %v", err)
+		}
+	}
+	// Anything else after the document is corruption, not slack.
+	for name, bad := range map[string]string{
+		"concatenated document": doc + doc,
+		"truncated second doc":  doc + doc[:len(doc)/3],
+		"json value":            doc + `{"version":1}`,
+		"garbage":               doc + "xx-trailing-garbage",
+		"null":                  doc + "null",
+	} {
+		if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: accepted, want trailing-data error", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 )
@@ -197,28 +198,67 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	if len(stages) > 0 {
 		fmt.Fprintf(&b, "# TYPE specchar_stage_runs_total counter\n")
 		for _, st := range stages {
-			fmt.Fprintf(&b, "specchar_stage_runs_total{stage=%q} %d\n", st.Name, st.Count)
+			fmt.Fprintf(&b, "specchar_stage_runs_total{stage=%s} %d\n", escapeLabel(st.Name), st.Count)
 		}
 		fmt.Fprintf(&b, "# TYPE specchar_stage_rows_total counter\n")
 		for _, st := range stages {
-			fmt.Fprintf(&b, "specchar_stage_rows_total{stage=%q} %d\n", st.Name, st.Rows)
+			fmt.Fprintf(&b, "specchar_stage_rows_total{stage=%s} %d\n", escapeLabel(st.Name), st.Rows)
 		}
 		fmt.Fprintf(&b, "# TYPE specchar_stage_wall_seconds_total counter\n")
 		for _, st := range stages {
-			fmt.Fprintf(&b, "specchar_stage_wall_seconds_total{stage=%q} %s\n", st.Name, formatFloat(st.WallMS/1e3))
+			fmt.Fprintf(&b, "specchar_stage_wall_seconds_total{stage=%s} %s\n", escapeLabel(st.Name), formatFloat(st.WallMS/1e3))
 		}
 		fmt.Fprintf(&b, "# TYPE specchar_stage_rows_per_second gauge\n")
 		for _, st := range stages {
 			if st.Rows == 0 || st.WallMS <= 0 {
 				continue
 			}
-			fmt.Fprintf(&b, "specchar_stage_rows_per_second{stage=%q} %s\n", st.Name, formatFloat(float64(st.Rows)/(st.WallMS/1e3)))
+			fmt.Fprintf(&b, "specchar_stage_rows_per_second{stage=%s} %s\n", escapeLabel(st.Name), formatFloat(float64(st.Rows)/(st.WallMS/1e3)))
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
+// formatFloat renders a sample value for the text exposition format.
+// Shortest round-trip formatting ('g', precision -1) keeps tiny values
+// (a sub-microsecond stage wall time, a 1e-9 rate) from collapsing to 0,
+// which the old fixed %.6f rendering did, and non-finite values use the
+// exact spellings the exposition format defines: NaN, +Inf, -Inf.
 func formatFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel renders a label value, surrounding quotes included, for the
+// text exposition format. Only three escape sequences are legal inside a
+// quoted label value: \\, \" and \n. Go's %q (used here previously) emits
+// \u/\x escapes for control and non-ASCII bytes, which exposition-format
+// parsers reject; every byte other than the three above must pass through
+// verbatim.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }

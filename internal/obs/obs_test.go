@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -446,6 +448,80 @@ func TestCLIRunPublishes(t *testing.T) {
 		}
 		if !strings.Contains(string(b), want) {
 			t.Errorf("%s missing %q:\n%s", filepath.Base(path), want, b)
+		}
+	}
+}
+
+// The exporter must not round small values away: a 2e-9-second stage
+// rendered through the old fixed %.6f formatting became "0", erasing the
+// measurement. Shortest round-trip formatting must preserve every finite
+// float64 exactly, and non-finite values must use the exposition format's
+// only legal spellings (NaN, +Inf, -Inf) rather than fmt's defaults.
+func TestFormatFloatPrecisionAndNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{2e-9, "2e-09"},
+		{4.9e-7, "4.9e-07"}, // rounded to 0 by %.6f
+		{-3.25e-12, "-3.25e-12"},
+		{12345678.90625, "1.234567890625e+07"},
+		{math.NaN(), "NaN"},
+		{math.Inf(+1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	// Round trip: every finite rendering must parse back to the same bits.
+	for _, v := range []float64{2e-9, 4.9e-7, 1.0 / 3.0, 6.25e-300} {
+		got, err := strconv.ParseFloat(formatFloat(v), 64)
+		if err != nil || got != v {
+			t.Errorf("formatFloat(%v) = %q does not round-trip (parsed %v, err %v)", v, formatFloat(v), got, err)
+		}
+	}
+}
+
+// A gauge small enough to be rounded away by the old formatter must
+// survive to the exposition output.
+func TestWritePrometheusSmallGauge(t *testing.T) {
+	r := New()
+	r.now = fixedClock()
+	r.Gauge("specchar_tiny").Set(3e-8)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "specchar_tiny 3e-08") {
+		t.Errorf("small gauge rounded away:\n%s", buf.String())
+	}
+}
+
+// Label values may contain any byte; only \\, \" and \n may be escaped
+// (and the latter three must be). Go's %q — the previous implementation —
+// emitted \x and \u escapes that exposition-format parsers reject.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	hostile := "stage \"x\"\\path\nnext\tμops\x01"
+	r := New()
+	r.now = fixedClock()
+	_, s := r.StartSpan(context.Background(), hostile)
+	s.SetRows(7)
+	s.End()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "specchar_stage_rows_total{stage=\"stage \\\"x\\\"\\\\path\\nnext\t\u03bcops\x01\"} 7"
+	if !strings.Contains(out, want) {
+		t.Errorf("hostile label not escaped per exposition format.\nwant line: %q\ngot:\n%s", want, out)
+	}
+	for _, bad := range []string{`\x`, `\u`, `\t`} {
+		if strings.Contains(out, bad) {
+			t.Errorf("export contains illegal escape %q:\n%s", bad, out)
 		}
 	}
 }

@@ -1,0 +1,141 @@
+// Package registry is the in-memory model store behind the scoring
+// daemon: an immutable, versioned map from model name to compiled tree,
+// swapped wholesale through one atomic pointer.
+//
+// The access pattern is radically read-heavy — every score request
+// resolves a model, swaps happen when an operator deploys a retrained
+// tree — so the design is copy-on-write: readers follow the atomic
+// pointer to an immutable snapshot and never lock, writers clone the map
+// under a mutex and publish the clone with one pointer store. A swap is
+// therefore zero-downtime by construction: requests in flight keep the
+// snapshot (and the *mtree.CompiledTree) they resolved, new requests see
+// the new version, and no request ever observes a half-updated store.
+//
+// Versions are per name and monotonic: loading "cpu2006" three times
+// yields versions 1, 2, 3, whichever goroutine gets there first. A
+// *Model is immutable once published; the registry never mutates a
+// compiled tree it was handed (CompiledTree is itself immutable — see
+// mtree.CompiledTree and WithWorkers).
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specchar/internal/mtree"
+)
+
+// Model is one published entry: a compiled tree under a name, stamped
+// with its monotonic version. Immutable after publication.
+type Model struct {
+	Name    string
+	Version int
+	Tree    *mtree.CompiledTree
+	// Source records where the artifact came from (a file path, "inline",
+	// "trained") — operator-facing provenance for the list surface.
+	Source string
+	// LoadedAt is the publication time, for the list surface only.
+	LoadedAt time.Time
+}
+
+// snapshot is one immutable generation of the store. The map is never
+// written after publication.
+type snapshot struct {
+	models map[string]*Model
+}
+
+// Registry is the versioned model store. The zero value is not ready;
+// use New.
+type Registry struct {
+	cur atomic.Pointer[snapshot]
+
+	// mu serializes writers (Load/Remove); readers never take it.
+	mu sync.Mutex
+	// versions outlives removal: re-loading a removed name continues its
+	// version sequence rather than restarting at 1, so an operator can
+	// always tell two artifacts apart by (name, version).
+	versions map[string]int
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	r := &Registry{versions: make(map[string]int)}
+	r.cur.Store(&snapshot{models: map[string]*Model{}})
+	return r
+}
+
+// Get resolves a model by name from the current snapshot. Lock-free; the
+// returned *Model (and its tree) stays valid forever even if the name is
+// swapped or removed afterwards.
+func (r *Registry) Get(name string) (*Model, bool) {
+	m, ok := r.cur.Load().models[name]
+	return m, ok
+}
+
+// Load publishes a compiled tree under the name, returning the new
+// entry. An existing entry with the same name is hot-swapped: the
+// version increments and the published snapshot replaces the old one
+// atomically, so concurrent readers see either the old or the new model,
+// never an intermediate state.
+func (r *Registry) Load(name string, tree *mtree.CompiledTree, source string) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("registry: empty model name")
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("registry: nil tree for model %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions[name]++
+	m := &Model{
+		Name:     name,
+		Version:  r.versions[name],
+		Tree:     tree,
+		Source:   source,
+		LoadedAt: time.Now(),
+	}
+	r.publish(func(models map[string]*Model) { models[name] = m })
+	return m, nil
+}
+
+// Remove unpublishes a name. Requests already holding the model keep it;
+// the name's version counter survives for a future re-load.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.cur.Load().models[name]; !ok {
+		return false
+	}
+	r.publish(func(models map[string]*Model) { delete(models, name) })
+	return true
+}
+
+// publish clones the current snapshot, applies mut, and atomically
+// replaces the store. Callers hold r.mu.
+func (r *Registry) publish(mut func(map[string]*Model)) {
+	old := r.cur.Load().models
+	next := make(map[string]*Model, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	mut(next)
+	r.cur.Store(&snapshot{models: next})
+}
+
+// List returns the current entries sorted by name. The slice is the
+// caller's; the entries are shared immutable values.
+func (r *Registry) List() []*Model {
+	models := r.cur.Load().models
+	out := make([]*Model, 0, len(models))
+	for _, m := range models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of published models.
+func (r *Registry) Len() int { return len(r.cur.Load().models) }

@@ -1,0 +1,207 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specchar/internal/dataset"
+	"specchar/internal/mtree"
+)
+
+// trainedTree builds a small compiled tree whose leaf models encode the
+// given seed, so versions are distinguishable by prediction.
+func trainedTree(t testing.TB, seed int64) *mtree.CompiledTree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := &dataset.Schema{Response: "y", Attributes: []string{"a", "b", "c"}}
+	d := dataset.New(schema)
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y := float64(seed) + 2*x[0] - x[1] + 0.5*x[2] + 0.01*rng.NormFloat64()
+		if err := d.Append(dataset.Sample{X: x, Y: y, Label: "bench"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := mtree.DefaultOptions()
+	opts.MinLeaf = 20
+	tree, err := mtree.Build(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	r := New()
+	if _, ok := r.Get("cpu2006"); ok {
+		t.Fatal("empty registry resolved a model")
+	}
+	if _, err := r.Load("", trainedTree(t, 1), "test"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.Load("x", nil, "test"); err == nil {
+		t.Error("nil tree accepted")
+	}
+
+	m1, err := r.Load("cpu2006", trainedTree(t, 1), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Load("cpu2006", trainedTree(t, 2), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Version != 1 || m2.Version != 2 {
+		t.Errorf("versions = %d, %d, want 1, 2", m1.Version, m2.Version)
+	}
+	got, ok := r.Get("cpu2006")
+	if !ok || got != m2 {
+		t.Error("Get does not resolve the latest version")
+	}
+	// Old handle stays valid after the swap.
+	x := []float64{0.5, 0.5, 0.5}
+	if m1.Tree.Predict(x) == m2.Tree.Predict(x) {
+		t.Error("test trees indistinguishable; fixture broken")
+	}
+
+	if !r.Remove("cpu2006") || r.Remove("cpu2006") {
+		t.Error("Remove semantics wrong")
+	}
+	if _, ok := r.Get("cpu2006"); ok {
+		t.Error("removed model still resolves")
+	}
+	// Version sequence survives removal.
+	m3, err := r.Load("cpu2006", trainedTree(t, 3), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Version != 3 {
+		t.Errorf("version after remove = %d, want 3", m3.Version)
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := New()
+	for _, name := range []string{"omp2001", "cpu2006", "cpu2017"} {
+		if _, err := r.Load(name, trainedTree(t, 1), "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := r.List()
+	if len(list) != 3 || r.Len() != 3 {
+		t.Fatalf("Len/List = %d/%d, want 3", r.Len(), len(list))
+	}
+	for i, want := range []string{"cpu2006", "cpu2017", "omp2001"} {
+		if list[i].Name != want {
+			t.Errorf("list[%d] = %q, want %q (sorted)", i, list[i].Name, want)
+		}
+	}
+}
+
+// The hot-swap contract under load: goroutines continuously resolving and
+// scoring one model name must never observe a miss, a torn entry, or a
+// prediction that matches neither published version, while other
+// goroutines swap in new versions and list the store. Run under -race
+// this is the registry's zero-downtime acceptance test.
+func TestRegistryHotSwapUnderLoad(t *testing.T) {
+	r := New()
+	trees := make([]*mtree.CompiledTree, 4)
+	expected := make([]float64, len(trees))
+	x := []float64{0.25, 0.5, 0.75}
+	for i := range trees {
+		trees[i] = trainedTree(t, int64(i+1))
+		expected[i] = trees[i].Predict(x)
+	}
+	if _, err := r.Load("model", trees[0], "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var scored atomic.Int64
+	errs := make(chan error, 32)
+	var wg, scorers sync.WaitGroup
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		scorers.Add(1)
+		go func() {
+			defer wg.Done()
+			defer scorers.Done()
+			for i := 0; i < 3000; i++ {
+				m, ok := r.Get("model")
+				if !ok {
+					errs <- fmt.Errorf("resolve failed mid-swap")
+					return
+				}
+				if m.Version < 1 {
+					errs <- fmt.Errorf("torn version %d", m.Version)
+					return
+				}
+				got := m.Tree.Predict(x)
+				found := false
+				for _, want := range expected {
+					if got == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					errs <- fmt.Errorf("prediction %v matches no published version", got)
+					return
+				}
+				scored.Add(1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			list := r.List()
+			if len(list) != 1 || r.Len() != 1 {
+				errs <- fmt.Errorf("list saw %d entries, want 1", len(list))
+				return
+			}
+		}
+	}()
+
+	// Swap continuously until every scorer has finished its iterations,
+	// so the whole scoring run happens under an active swap storm.
+	swaps := 0
+	done := make(chan struct{})
+	go func() { scorers.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+		default:
+			if _, err := r.Load("model", trees[swaps%len(trees)], "test"); err != nil {
+				t.Fatal(err)
+			}
+			swaps++
+			continue
+		}
+		break
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if scored.Load() == 0 {
+		t.Error("no scores completed during the swap storm")
+	}
+	if swaps == 0 {
+		t.Error("no swaps happened during scoring")
+	}
+	if m, _ := r.Get("model"); m.Version != swaps+1 {
+		t.Errorf("final version = %d, want %d", m.Version, swaps+1)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specchar/internal/dataset"
+	"specchar/internal/obs"
+)
+
+// ErrOverloaded rejects a request whose model already has MaxPending
+// samples queued — the admission-control bound. Clients should back off
+// and retry.
+var ErrOverloaded = errors.New("serve: model queue full")
+
+// ErrDraining rejects work submitted while the server is shutting down.
+var ErrDraining = errors.New("serve: server draining")
+
+// ErrModelGone fails queued requests whose model was removed between
+// admission and scoring.
+var ErrModelGone = errors.New("serve: model removed while queued")
+
+// scoreJob is one admitted request waiting to be batched: the rows to
+// score, and the slots the dispatcher fills before closing done.
+type scoreJob struct {
+	rows    [][]float64
+	out     []float64
+	version int
+	err     error
+	done    chan struct{}
+}
+
+// batcher owns one model's bounded queue and dispatcher goroutine.
+//
+// Admission is sample-count based: pending tracks queued samples across
+// jobs and submit rejects instantly once it would exceed MaxPending, so
+// a hot model sheds load at the door instead of stacking goroutines.
+// The dispatcher coalesces queued jobs into batches of up to MaxBatch
+// samples, lingering at most BatchWait once it holds a partial batch,
+// and scores each batch through one PredictDataset call against the
+// model resolved at flush time — which is what makes registry hot-swaps
+// take effect between batches with zero failed requests.
+type batcher struct {
+	s     *Server
+	model string
+
+	jobs    chan *scoreJob
+	pending atomic.Int64 // queued samples, bounded by MaxPending
+
+	// drainMu fences admission against shutdown: submit enqueues under
+	// RLock, close flips draining under Lock before closing quit. Without
+	// the fence a submit racing close could enqueue after the dispatcher's
+	// final drain and wait forever on a job nothing will ever flush.
+	drainMu  sync.RWMutex
+	draining bool
+
+	quit     chan struct{} // closed by close(); dispatcher drains then exits
+	done     sync.WaitGroup
+	closeOne sync.Once
+}
+
+func newBatcher(s *Server, model string) *batcher {
+	b := &batcher{
+		s:     s,
+		model: model,
+		// Job slots are bounded by worst case one-sample jobs filling the
+		// pending budget; the channel is never the admission limit.
+		jobs: make(chan *scoreJob, s.cfg.MaxPending),
+		quit: make(chan struct{}),
+	}
+	b.done.Add(1)
+	go b.run()
+	return b
+}
+
+// submit admits the rows (or rejects with ErrOverloaded/ErrDraining),
+// waits for the dispatcher to score them, and returns the predictions
+// plus the model version that produced them. A canceled request context
+// abandons the wait — the batch still scores, the result is discarded.
+func (b *batcher) submit(ctx context.Context, rows [][]float64) ([]float64, int, error) {
+	n := int64(len(rows))
+	if n == 0 {
+		return nil, 0, nil
+	}
+	b.drainMu.RLock()
+	if b.draining {
+		b.drainMu.RUnlock()
+		return nil, 0, ErrDraining
+	}
+	if b.pending.Add(n) > int64(b.s.cfg.MaxPending) {
+		b.pending.Add(-n)
+		b.drainMu.RUnlock()
+		b.s.count("specchard_rejected_total")
+		return nil, 0, fmt.Errorf("%w: %q has %d samples pending (cap %d)",
+			ErrOverloaded, b.model, b.pending.Load(), b.s.cfg.MaxPending)
+	}
+	job := &scoreJob{rows: rows, done: make(chan struct{})}
+	// Never blocks: admitted samples are capped at MaxPending, every job
+	// carries at least one sample, and the channel holds MaxPending slots.
+	b.jobs <- job
+	b.drainMu.RUnlock()
+	select {
+	case <-job.done:
+		return job.out, job.version, job.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// close stops admission, then stops the dispatcher after it drains the
+// queue. Idempotent. Every job enqueued before close returns is scored.
+func (b *batcher) close() {
+	b.closeOne.Do(func() {
+		b.drainMu.Lock()
+		b.draining = true
+		b.drainMu.Unlock()
+		close(b.quit)
+	})
+	b.done.Wait()
+}
+
+// run is the dispatcher loop: pull one job, gather more into the batch
+// (up to MaxBatch samples, lingering BatchWait), flush, repeat. On quit
+// it drains everything already queued — shutdown scores admitted work
+// rather than erroring it.
+func (b *batcher) run() {
+	defer b.done.Done()
+	for {
+		select {
+		case j := <-b.jobs:
+			b.flush(b.gather(j))
+		case <-b.quit:
+			for {
+				select {
+				case j := <-b.jobs:
+					b.flush(b.gather(j))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather collects queued jobs behind first until the batch holds
+// MaxBatch samples or BatchWait elapses. A single over-wide job (a
+// request carrying more than MaxBatch samples) still scores as one
+// batch.
+func (b *batcher) gather(first *scoreJob) []*scoreJob {
+	batch := []*scoreJob{first}
+	total := len(first.rows)
+	if total >= b.s.cfg.MaxBatch {
+		return batch
+	}
+	linger := time.NewTimer(b.s.cfg.BatchWait)
+	defer linger.Stop()
+	for total < b.s.cfg.MaxBatch {
+		select {
+		case j := <-b.jobs:
+			batch = append(batch, j)
+			total += len(j.rows)
+		case <-linger.C:
+			return batch
+		case <-b.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush scores one batch: resolve the model now (hot-swap point), pack
+// every job's rows into one dataset, one PredictDataset call, scatter
+// the outputs back, release the admission budget.
+func (b *batcher) flush(batch []*scoreJob) {
+	total := 0
+	for _, j := range batch {
+		total += len(j.rows)
+	}
+	defer func() {
+		b.pending.Add(-int64(total))
+		for _, j := range batch {
+			close(j.done)
+		}
+	}()
+
+	m, ok := b.s.reg.Get(b.model)
+	if !ok {
+		for _, j := range batch {
+			j.err = fmt.Errorf("%w: %q", ErrModelGone, b.model)
+		}
+		return
+	}
+
+	ctx, span := b.s.rec.StartSpan(b.s.baseCtx, "serve.batch",
+		obs.A("model", b.model), obs.A("jobs", len(batch)))
+	span.SetRows(total)
+	defer span.End()
+
+	ds := &dataset.Dataset{Schema: m.Tree.Schema(), Samples: make([]dataset.Sample, 0, total)}
+	for _, j := range batch {
+		for _, row := range j.rows {
+			ds.Samples = append(ds.Samples, dataset.Sample{X: row})
+		}
+	}
+	preds, err := m.Tree.WithWorkers(b.s.cfg.Workers).PredictDatasetCheckedContext(ctx, ds)
+	if err != nil {
+		// Width mismatches here mean the model was swapped to an
+		// incompatible schema after the handler validated; each job gets
+		// the inspectable error.
+		for _, j := range batch {
+			j.err = err
+		}
+		return
+	}
+	off := 0
+	for _, j := range batch {
+		j.out = preds[off : off+len(j.rows) : off+len(j.rows)]
+		j.version = m.Version
+		off += len(j.rows)
+	}
+	b.s.rec.VolatileCounter("specchard_batches_total").Add(1)
+	b.s.rec.Gauge("specchard_last_batch_samples").Set(float64(total))
+}

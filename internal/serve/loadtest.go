@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterizes one load-test phase against a running scoring
+// daemon: Concurrency closed-loop clients each fire back-to-back score
+// requests of Batch samples for Duration.
+type LoadConfig struct {
+	// URL is the daemon base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Model names the registry entry to score.
+	Model string
+	// Samples is the pool of schema-width sample vectors requests draw
+	// from (round-robin).
+	Samples [][]float64
+	// Batch is the number of samples per request.
+	Batch int
+	// Concurrency is the number of closed-loop client goroutines.
+	Concurrency int
+	// Duration is how long the phase runs.
+	Duration time.Duration
+}
+
+// LoadResult is one phase's aggregate: counts, throughput, and request
+// latency quantiles.
+type LoadResult struct {
+	Batch            int     `json:"batch"`
+	Concurrency      int     `json:"concurrency"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+	Requests         int64   `json:"requests"`
+	Failed           int64   `json:"failed"`
+	Samples          int64   `json:"samples"`
+	QPS              float64 `json:"qps"`
+	SamplesPerSecond float64 `json:"samples_per_second"`
+	P50LatencyMs     float64 `json:"p50_latency_ms"`
+	P99LatencyMs     float64 `json:"p99_latency_ms"`
+	MaxLatencyMs     float64 `json:"max_latency_ms"`
+}
+
+// RunLoad drives one load phase and aggregates the results. A request
+// counts as failed when the daemon answers anything but 200 or the
+// transport errors; the first failure body is carried in the returned
+// error alongside the result for diagnosis, but failures do not abort
+// the phase (saturation behaviour — 429s under overload — is exactly
+// what the harness measures).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Batch <= 0 || cfg.Concurrency <= 0 || len(cfg.Samples) == 0 {
+		return nil, fmt.Errorf("serve: load config needs batch, concurrency and samples")
+	}
+	// Pre-marshal a rotation of request bodies so client-side JSON cost
+	// stays off the hot loop.
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		rows := make([][]float64, cfg.Batch)
+		for j := range rows {
+			rows[j] = cfg.Samples[(i*cfg.Batch+j)%len(cfg.Samples)]
+		}
+		b, err := json.Marshal(scoreRequest{Model: cfg.Model, Samples: rows})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+	url := cfg.URL + "/v1/score"
+
+	phaseCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var (
+		requests, failed, samples atomic.Int64
+		mu                        sync.Mutex
+		latencies                 []time.Duration
+		firstFailure              atomic.Pointer[string]
+	)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := 0; phaseCtx.Err() == nil; i++ {
+				body := bodies[(c+i)%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(phaseCtx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					break
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if phaseCtx.Err() != nil {
+						break // the deadline canceled this request, not a fault
+					}
+					failed.Add(1)
+					requests.Add(1)
+					msg := err.Error()
+					firstFailure.CompareAndSwap(nil, &msg)
+					continue
+				}
+				rb, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					msg := fmt.Sprintf("status %d: %s", resp.StatusCode, rb)
+					firstFailure.CompareAndSwap(nil, &msg)
+					continue
+				}
+				samples.Add(int64(cfg.Batch))
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin).Seconds()
+
+	res := &LoadResult{
+		Batch:           cfg.Batch,
+		Concurrency:     cfg.Concurrency,
+		DurationSeconds: elapsed,
+		Requests:        requests.Load(),
+		Failed:          failed.Load(),
+		Samples:         samples.Load(),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Requests-res.Failed) / elapsed
+		res.SamplesPerSecond = float64(res.Samples) / elapsed
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50LatencyMs = quantileMS(latencies, 0.50)
+		res.P99LatencyMs = quantileMS(latencies, 0.99)
+		res.MaxLatencyMs = float64(latencies[len(latencies)-1]) / 1e6
+	}
+	if msg := firstFailure.Load(); msg != nil {
+		return res, fmt.Errorf("serve: %d/%d requests failed (first: %s)", res.Failed, res.Requests, *msg)
+	}
+	return res, nil
+}
+
+// quantileMS reads the q-quantile (nearest-rank) off a sorted latency
+// slice, in milliseconds.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / 1e6
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Produces the serving-latency evidence file for the scoring daemon: a
+# specchard -selfbench run (ephemeral daemon on a loopback port, quick
+# cpu2006 model, closed-loop clients at batch sizes 1/16/64) whose JSON
+# output records p50/p99 request latency and QPS at saturation per phase.
+# The checked-in BENCH_PR6.json was produced by this script.
+#
+# Usage: scripts/loadbench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR6.json}"
+duration="${DURATION:-3s}"
+
+go build -o /tmp/specchard.loadbench ./cmd/specchard
+/tmp/specchard.loadbench -selfbench -selfbench-duration "$duration" > "$out"
+rm -f /tmp/specchard.loadbench
+echo "wrote $out" >&2

@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end smoke test of the scoring daemon, run by CI: build the CLIs,
+# compile a quick cpu2006 artifact, start specchard, score one real
+# generated sample over HTTP, hot-swap the model via PUT, scrape
+# /metrics, and verify a SIGTERM shutdown drains and exits 0.
+#
+# Usage: scripts/serve-smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+port="${PORT:-18632}"
+base="http://127.0.0.1:$port"
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build" >&2
+go build -o "$work/" ./cmd/specchar ./cmd/specchard
+
+echo "== compile artifact" >&2
+"$work/specchar" compile -suite cpu2006 -quick -o "$work/model.sct"
+
+echo "== start daemon" >&2
+"$work/specchard" -addr "127.0.0.1:$port" -model "cpu2006=$work/model.sct" \
+    > "$work/daemon.log" 2>&1 &
+daemon_pid=$!
+
+# Poll /healthz until the daemon answers (or give up after ~5s).
+i=0
+until curl -fsS "$base/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "daemon never became healthy" >&2; cat "$work/daemon.log" >&2; exit 1; }
+    sleep 0.1
+done
+curl -fsS "$base/healthz"; echo
+
+echo "== list models" >&2
+curl -fsS "$base/v1/models" | grep -q '"name":"cpu2006"'
+
+echo "== score one generated sample" >&2
+# Row 1 of the quick dataset, dropping the benchmark label (field 1) and
+# the response (last field) — exactly the predictor vector the API takes.
+row="$("$work/specchar" datagen -suite cpu2006 -quick 2>/dev/null |
+    awk -F, 'NR==2 {out=$2; for (i=3; i<NF; i++) out=out","$i; print out}')"
+resp="$(curl -fsS -X POST "$base/v1/score" \
+    -H 'Content-Type: application/json' \
+    -d "{\"model\":\"cpu2006\",\"samples\":[[$row]]}")"
+echo "$resp"
+echo "$resp" | grep -q '"predictions":\[' || { echo "no predictions in response" >&2; exit 1; }
+
+echo "== hot-swap via PUT" >&2
+curl -fsS -X PUT "$base/v1/models/cpu2006" --data-binary "@$work/model.sct" |
+    grep -q '"version":2'
+
+echo "== scrape /metrics" >&2
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -q '^specchard_samples_scored_total 1$'
+echo "$metrics" | grep -q '^specchard_model_swaps_total 1$'
+
+echo "== graceful shutdown" >&2
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+status=$?
+daemon_pid=""
+[ "$status" -eq 0 ] || { echo "daemon exited $status" >&2; cat "$work/daemon.log" >&2; exit 1; }
+grep -q 'drained; bye' "$work/daemon.log"
+
+echo "serve smoke OK" >&2
