@@ -412,6 +412,32 @@ func benchPredictDatasetCompiledWorkers(b *testing.B, workers int) {
 func BenchmarkPredictDatasetCompiledSerial(b *testing.B)   { benchPredictDatasetCompiledWorkers(b, 1) }
 func BenchmarkPredictDatasetCompiledParallel(b *testing.B) { benchPredictDatasetCompiledWorkers(b, 0) }
 
+// benchPredictColumnarWorkers times the column-major scorer over the
+// same dataset in its zero-parse columnar form — the layout `specchar
+// convert` writes and OpenColumnar maps. No per-chunk row gather: the
+// kernel walks each attribute column directly.
+func benchPredictColumnarWorkers(b *testing.B, workers int) {
+	s := benchStudy(b)
+	ctree, err := s.CPUTree.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctree.Workers = workers
+	col := s.CPU.ToColumnar()
+	defer col.Close()
+	cols, n := col.Columns(), col.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if preds := ctree.PredictColumns(cols, n); len(preds) != n {
+			b.Fatal("short prediction vector")
+		}
+	}
+}
+
+func BenchmarkPredictColumnarSerial(b *testing.B)   { benchPredictColumnarWorkers(b, 1) }
+func BenchmarkPredictColumnarParallel(b *testing.B) { benchPredictColumnarWorkers(b, 0) }
+
 // --- helpers ---
 
 type evalResult struct{ c, mae float64 }

@@ -11,6 +11,8 @@
 //	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N] [-eval F] [-workers N]
 //	specchar characterize -suite cpu2006|omp2001 [-quick]
 //	specchar compile      -suite cpu2006|omp2001 -o model.sct [-quick]
+//	specchar convert      -i data.csv -o data.spcol
+//	specchar score        -model model.sct -data data.spcol [-o preds] [-check ref]
 //	specchar transfer     [-quick]
 //
 // For the full per-table/per-figure reproduction, see cmd/experiments.
@@ -121,6 +123,10 @@ func main() {
 		err = runBench(ctx, args)
 	case "compile":
 		err = runCompile(ctx, args)
+	case "convert":
+		err = runConvert(ctx, args)
+	case "score":
+		err = runScore(ctx, args)
 	case "importance":
 		err = runStudyReport(ctx, args, func(st *specchar.Study) (string, error) { return st.ImportanceReport(3) })
 	case "phases":
@@ -160,6 +166,8 @@ commands:
   compare       compare M5' against linear/kNN/MLP baselines (paper ref [15])
   bench         per-benchmark characterization report (CPI, classes, events, neighbours)
   compile       train a suite tree and write a compiled-tree artifact for specchard
+  convert       re-encode a dataset between .csv, .arff, and columnar .spcol
+  score         run a compiled model over a dataset file (columnar or row-major)
   importance    permutation variable importance for both suite trees
   phases        phase detection validated against generator ground truth
   cpistack      exact per-benchmark cycle attribution

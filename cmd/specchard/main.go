@@ -292,12 +292,30 @@ func runSelfbench(rec *obs.Recorder, reg *registry.Registry,
 			results = append(results, res)
 		}
 	}
-	doc := map[string]any{
-		"bench":      "specchard selfbench",
-		"model":      "cpu2006 (quick)",
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"phases":     results,
+	// The headline is peak samples/second, not QPS: at batch 64 each
+	// request carries 64× the work of a batch-1 request, so raw QPS
+	// reads lower at larger batches even as actual scoring throughput
+	// climbs — samples/sec is the comparable number across phases.
+	doc := struct {
+		Bench                string              `json:"bench"`
+		Model                string              `json:"model"`
+		PeakSamplesPerSecond float64             `json:"peak_samples_per_second"`
+		PeakBatch            int                 `json:"peak_batch"`
+		GOMAXPROCS           int                 `json:"gomaxprocs"`
+		Phases               []*serve.LoadResult `json:"phases"`
+	}{
+		Bench:      "specchard selfbench",
+		Model:      "cpu2006 (quick)",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Phases:     results,
 	}
+	for _, r := range results {
+		if r.SamplesPerSecond > doc.PeakSamplesPerSecond {
+			doc.PeakSamplesPerSecond = r.SamplesPerSecond
+			doc.PeakBatch = r.Batch
+		}
+	}
+	log.Printf("selfbench: peak %.0f samples/sec at batch %d", doc.PeakSamplesPerSecond, doc.PeakBatch)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

@@ -1,0 +1,55 @@
+//go:build linux
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenColumnar maps a columnar artifact file read-only and builds the
+// Columnar over the mapping: after the one-time validation pass (CRC,
+// structure, finiteness) the float columns are reinterpreted views of
+// the page cache — no decode, no copy. Close releases the mapping.
+//
+// If the payload cannot legally be viewed in place (big-endian host, a
+// hand-built file with a misaligned payload) the columns silently fall
+// back to decoded copies of the mapped bytes; the mapping is then
+// released before returning, so Close stays trivial either way.
+func OpenColumnar(path string) (*Columnar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("%w: empty file %s", ErrColumnar, path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("%w: file %s too large to map", ErrColumnar, path)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: mapping %s: %w", path, err)
+	}
+	c, err := parseColumnar(m, true)
+	if err != nil {
+		syscall.Munmap(m)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if c.n > 0 && len(c.cols) > 0 && sliceAliases(c.cols[0], m) {
+		c.mapping = m
+	} else {
+		// Copy fallback: nothing references the mapping.
+		syscall.Munmap(m)
+	}
+	return c, nil
+}
+
+func unmapFile(m []byte) error { return syscall.Munmap(m) }

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package dataset
+
+import "os"
+
+// OpenColumnar on platforms without the mmap fast path reads the file
+// and decodes it; the result is heap-backed and Close is a no-op.
+func OpenColumnar(path string) (*Columnar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadColumnar(f)
+}
+
+func unmapFile(m []byte) error { return nil }

@@ -21,10 +21,19 @@ package mtree
 //
 // All integers and floats are little-endian; float64s are IEEE-754 bit
 // patterns. The reader validates the checksum, every structural
-// invariant a traversal relies on (reference ranges, preorder child
+// invariant a traversal relies on (reference ranges, child-after-parent
 // ordering — which also rules out reference cycles), and that the stream
 // ends exactly at the checksum: trailing bytes mean a corrupt artifact
 // (two writes landing in one file), not slack to ignore.
+//
+// Version history. Version 1 stored the interior arrays in preorder;
+// version 2 (current) stores them depth-layered breadth-first for the
+// blocked traversal kernels. The byte layout is identical — only the
+// interior permutation differs — and both orders satisfy the same
+// child-index-greater-than-parent invariant, so ReadCompiled accepts
+// either version unchanged: a v1 preorder artifact routes correctly
+// (every traversal follows explicit child references), it merely lacks
+// v2's level-contiguous cache behavior until recompiled.
 
 import (
 	"encoding/binary"
@@ -46,8 +55,13 @@ var ErrArtifact = errors.New("mtree: invalid compiled-tree artifact")
 // bumps artifactVersion, while the magic pins the file family.
 const artifactMagic = "SPCCTRE1"
 
-// artifactVersion is the current artifact format version.
-const artifactVersion = 1
+// artifactVersion is the current artifact format version (depth-layered
+// interior order). artifactVersionPreorder artifacts, written before the
+// blocked kernels, share the byte layout and remain loadable.
+const (
+	artifactVersion         = 2
+	artifactVersionPreorder = 1
+)
 
 // WriteTo serializes the compiled tree in the versioned binary artifact
 // format, implementing io.WriterTo. The artifact is self-validating
@@ -113,7 +127,7 @@ func ReadCompiled(r io.Reader) (*CompiledTree, error) {
 	if string(ar.bytes(len(artifactMagic))) != artifactMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrArtifact)
 	}
-	if v := ar.u32(); ar.err == nil && v != artifactVersion {
+	if v := ar.u32(); ar.err == nil && v != artifactVersion && v != artifactVersionPreorder {
 		return nil, fmt.Errorf("%w: unsupported format version %d", ErrArtifact, v)
 	}
 	smooth := ar.u8() != 0
@@ -160,13 +174,15 @@ func ReadCompiled(r io.Reader) (*CompiledTree, error) {
 	if err := c.validateRefs(); err != nil {
 		return nil, err
 	}
+	c.finish()
 	return c, nil
 }
 
 // validateRefs checks every invariant the flat traversal relies on:
 // reference ranges, split attributes inside the schema, and strictly
-// increasing interior child indices (the preorder layout Compile emits),
-// which bounds traversal depth and makes reference cycles impossible.
+// increasing interior child indices — an invariant both the v1 preorder
+// and v2 breadth-first layouts satisfy — which bounds traversal depth and
+// makes reference cycles impossible.
 func (c *CompiledTree) validateRefs() error {
 	interior, leaves := len(c.attrs), len(c.intercepts)
 	if leaves == 0 {
@@ -178,7 +194,7 @@ func (c *CompiledTree) validateRefs() error {
 				return fmt.Errorf("%w: interior ref %d out of range", ErrArtifact, r)
 			}
 			if parent >= 0 && int(r) <= parent {
-				return fmt.Errorf("%w: interior ref %d not in preorder under %d", ErrArtifact, r, parent)
+				return fmt.Errorf("%w: interior ref %d not after its parent %d", ErrArtifact, r, parent)
 			}
 			return nil
 		}

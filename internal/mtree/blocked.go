@@ -1,0 +1,379 @@
+package mtree
+
+// Blocked multi-sample traversal kernels.
+//
+// Batch scoring routes laneBlock samples through the tree together: every
+// iteration advances each still-routing lane one level, so one node's
+// (attr, threshold) load is shared by all lanes sitting on that node and
+// the independent lanes give the CPU a window of non-dependent loads to
+// overlap — the serial pointer chase of one-sample-at-a-time traversal is
+// the latency wall this replaces. Lanes that reach a leaf are compacted
+// out of the active set, so ragged tree depths cost nothing beyond their
+// own path length.
+//
+// Every kernel preserves the exact floating-point schedule of the scalar
+// path: routing uses the same `v <= threshold → left` comparison
+// (including its NaN-goes-right behavior), and the per-lane dot product
+// accumulates intercept-first in ascending attribute order into a single
+// accumulator, exactly like CompiledTree.Predict. Batch results are
+// therefore bit-identical to per-sample calls, and — because the chunk
+// size is a multiple of laneBlock, fixing absolute block boundaries —
+// bit-identical at every worker count.
+//
+// The quantized kernels route on the float32 brackets thrLo32/thrHi32
+// (f64(lo) ≤ t ≤ f64(hi)): v ≤ lo and v > hi decide from the narrow
+// value alone, and only samples inside the bracket — within a float32
+// ULP of the threshold — fall back to the exact float64 compare. Leaf
+// assignment is identical by construction.
+
+import (
+	"sync"
+	"unsafe"
+
+	"specchar/internal/dataset"
+)
+
+// predictScratch is the per-chunk working state batch scoring borrows
+// from scratchPool instead of allocating: the fused kernel's transition
+// table and the columnar kernel's column base pointers. Chunks run on
+// whatever worker grabs them, so the scratch lives in a pool rather than
+// on the tree.
+type predictScratch struct {
+	tr   []int32
+	colp []unsafe.Pointer
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// trans returns the transition table for a tree with rows-1 leaves plus
+// the sentinel row, every candidate reset to empty. A recycled table may
+// have served another tree, and a stale candidate could index past this
+// tree's boxes, so the reset is not optional.
+func (s *predictScratch) trans(rows int) *int32 {
+	need := rows * 4
+	if cap(s.tr) < need {
+		s.tr = make([]int32, need)
+	}
+	s.tr = s.tr[:need]
+	for i := range s.tr {
+		s.tr[i] = -1
+	}
+	return &s.tr[0]
+}
+
+// colPtrs returns a base-pointer scratch slice of length n.
+func (s *predictScratch) colPtrs(n int) []unsafe.Pointer {
+	if cap(s.colp) < n {
+		s.colp = make([]unsafe.Pointer, n)
+	}
+	return s.colp[:n]
+}
+
+const (
+	// laneBlock is the number of samples routed per node visit.
+	laneBlock = 16
+	// blockedChunk is the work quantum of blocked batch scoring: a
+	// multiple of laneBlock (so block boundaries are worker-count
+	// invariant) small enough that typical suite datasets split across
+	// the whole worker pool.
+	blockedChunk = 512
+)
+
+// routeRows routes n ≤ laneBlock row-major samples starting at lo down to
+// their leaves, leaving the leaf ref (^leafIndex) of lane l in refs[l].
+func (c *CompiledTree) routeRows(samples []dataset.Sample, lo, n int, refs *[laneBlock]int32) {
+	var rows [laneBlock][]float64
+	var act [laneBlock]int
+	attrs, thr, kids := c.attrs, c.thresholds, c.kids
+	na := 0
+	for l := 0; l < n; l++ {
+		refs[l] = c.rootRef
+		rows[l] = samples[lo+l].X
+		if c.rootRef >= 0 {
+			act[na] = l
+			na++
+		}
+	}
+	for na > 0 {
+		k := 0
+		for a := 0; a < na; a++ {
+			l := act[a]
+			ref := refs[l]
+			v := rows[l][attrs[ref]]
+			b := int32(1)
+			if v <= thr[ref] {
+				b = 0
+			}
+			ref = kids[2*ref+b]
+			refs[l] = ref
+			if ref >= 0 {
+				act[k] = l
+				k++
+			}
+		}
+		na = k
+	}
+}
+
+// routeRowsQuant is routeRows on the float32 threshold brackets with the
+// exact float64 fallback inside a bracket.
+func (c *CompiledTree) routeRowsQuant(samples []dataset.Sample, lo, n int, refs *[laneBlock]int32) {
+	var rows [laneBlock][]float64
+	var act [laneBlock]int
+	attrs, thr, kids := c.attrs, c.thresholds, c.kids
+	tlo, thi := c.thrLo32, c.thrHi32
+	na := 0
+	for l := 0; l < n; l++ {
+		refs[l] = c.rootRef
+		rows[l] = samples[lo+l].X
+		if c.rootRef >= 0 {
+			act[na] = l
+			na++
+		}
+	}
+	for na > 0 {
+		k := 0
+		for a := 0; a < na; a++ {
+			l := act[a]
+			ref := refs[l]
+			v := rows[l][attrs[ref]]
+			var b int32
+			switch {
+			case v <= float64(tlo[ref]):
+				b = 0
+			case v > float64(thi[ref]):
+				b = 1
+			case v <= thr[ref]: // inside the bracket: exact compare
+				b = 0
+			default:
+				b = 1
+			}
+			ref = kids[2*ref+b]
+			refs[l] = ref
+			if ref >= 0 {
+				act[k] = l
+				k++
+			}
+		}
+		na = k
+	}
+}
+
+// routeCols routes n ≤ laneBlock column-major samples starting at lo
+// (cols[j][i] is attribute j of sample i) down to their leaves.
+func (c *CompiledTree) routeCols(cols [][]float64, lo, n int, refs *[laneBlock]int32) {
+	var act [laneBlock]int
+	attrs, thr, kids := c.attrs, c.thresholds, c.kids
+	na := 0
+	for l := 0; l < n; l++ {
+		refs[l] = c.rootRef
+		if c.rootRef >= 0 {
+			act[na] = l
+			na++
+		}
+	}
+	for na > 0 {
+		k := 0
+		for a := 0; a < na; a++ {
+			l := act[a]
+			ref := refs[l]
+			v := cols[attrs[ref]][lo+l]
+			b := int32(1)
+			if v <= thr[ref] {
+				b = 0
+			}
+			ref = kids[2*ref+b]
+			refs[l] = ref
+			if ref >= 0 {
+				act[k] = l
+				k++
+			}
+		}
+		na = k
+	}
+}
+
+// routeColsQuant is routeCols on the float32 threshold brackets.
+func (c *CompiledTree) routeColsQuant(cols [][]float64, lo, n int, refs *[laneBlock]int32) {
+	var act [laneBlock]int
+	attrs, thr, kids := c.attrs, c.thresholds, c.kids
+	tlo, thi := c.thrLo32, c.thrHi32
+	na := 0
+	for l := 0; l < n; l++ {
+		refs[l] = c.rootRef
+		if c.rootRef >= 0 {
+			act[na] = l
+			na++
+		}
+	}
+	for na > 0 {
+		k := 0
+		for a := 0; a < na; a++ {
+			l := act[a]
+			ref := refs[l]
+			v := cols[attrs[ref]][lo+l]
+			var b int32
+			switch {
+			case v <= float64(tlo[ref]):
+				b = 0
+			case v > float64(thi[ref]):
+				b = 1
+			case v <= thr[ref]: // inside the bracket: exact compare
+				b = 0
+			default:
+				b = 1
+			}
+			ref = kids[2*ref+b]
+			refs[l] = ref
+			if ref >= 0 {
+				act[k] = l
+				k++
+			}
+		}
+		na = k
+	}
+}
+
+// predictRowsRange scores samples [lo,hi) into out[lo:hi] — through the
+// fused box-memoized AVX-512 kernel when the hardware and the tree's
+// packing allow it, else the blocked lane kernels.
+func (c *CompiledTree) predictRowsRange(samples []dataset.Sample, lo, hi int, out []float64) {
+	w := c.width
+	if useAsm512 && c.packedOK && !c.quant && w > 0 && hi > lo {
+		nl := len(c.intercepts)
+		var packed *uint64
+		var thr *float64
+		if len(c.packed) > 0 {
+			packed = &c.packed[0]
+			thr = &c.thresholds[0]
+		}
+		sc := scratchPool.Get().(*predictScratch)
+		bad := predictRowsFusedAsm(unsafe.Pointer(&samples[lo]),
+			int64(unsafe.Sizeof(dataset.Sample{})), int64(hi-lo), int64(w),
+			&c.boxes[0], int64(c.boxelems*8), &c.boxes[nl*c.boxelems],
+			packed, thr, int64(len(c.attrs)), c.rootExt,
+			&c.coefs[0], &c.intercepts[0], sc.trans(nl+1), int64(nl), &out[lo])
+		scratchPool.Put(sc)
+		if bad >= 0 {
+			_ = samples[lo+int(bad)].X[w-1] // panics: row shorter than the schema
+		}
+		return
+	}
+	var refs [laneBlock]int32
+	if useAsmDot && w > 0 {
+		var rowp [laneBlock]unsafe.Pointer
+		var lis [laneBlock]int32
+		for blo := lo; blo < hi; blo += laneBlock {
+			n := min(laneBlock, hi-blo)
+			if c.quant {
+				c.routeRowsQuant(samples, blo, n, &refs)
+			} else {
+				c.routeRows(samples, blo, n, &refs)
+			}
+			for l := 0; l < n; l++ {
+				lis[l] = int32(^refs[l])
+				x := samples[blo+l].X
+				_ = x[w-1] // row must span the schema, as in the scalar path
+				rowp[l] = unsafe.Pointer(&x[0])
+			}
+			dotRowsBlockAsm(&rowp[0], &lis[0], &c.coefs[0], &c.intercepts[0], int64(w), int64(n), &out[blo])
+		}
+		return
+	}
+	for blo := lo; blo < hi; blo += laneBlock {
+		n := min(laneBlock, hi-blo)
+		if c.quant {
+			c.routeRowsQuant(samples, blo, n, &refs)
+		} else {
+			c.routeRows(samples, blo, n, &refs)
+		}
+		for l := 0; l < n; l++ {
+			li := int(^refs[l])
+			out[blo+l] = dotRow(c.intercepts[li], c.coefs[li*w:(li+1)*w], samples[blo+l].X)
+		}
+	}
+}
+
+// predictColsRange scores column-major samples [lo,hi) into out[lo:hi]
+// in the per-sample ascending-attribute schedule of dotColsSample.
+// Consecutive samples routed to the same leaf — the common case when
+// batches arrive in workload order — are scored as one run through the
+// broadcast kernel: one coefficient row serves the whole run and each
+// column is read as one sequential stretch.
+func (c *CompiledTree) predictColsRange(cols [][]float64, lo, hi int, out []float64) {
+	var refs [laneBlock]int32
+	w := c.width
+	var colp []unsafe.Pointer
+	var sc *predictScratch
+	if useAsmDot && w > 0 && hi > lo {
+		sc = scratchPool.Get().(*predictScratch)
+		colp = sc.colPtrs(w)
+		for j := range colp {
+			col := cols[j]
+			_ = col[hi-1] // column must cover the range, as in the scalar path
+			colp[j] = unsafe.Pointer(&col[0])
+		}
+		defer scratchPool.Put(sc)
+	}
+	for blo := lo; blo < hi; blo += laneBlock {
+		n := min(laneBlock, hi-blo)
+		if c.quant {
+			c.routeColsQuant(cols, blo, n, &refs)
+		} else {
+			c.routeCols(cols, blo, n, &refs)
+		}
+		for l := 0; l < n; {
+			r := l + 1
+			for r < n && refs[r] == refs[l] {
+				r++
+			}
+			li := int(^refs[l])
+			intercept := c.intercepts[li]
+			row := c.coefs[li*w : (li+1)*w]
+			if rn := r - l; colp != nil && rn >= 4 {
+				n4 := rn &^ 3
+				dotColsRunAsm(&colp[0], int64(w), &row[0], intercept, int64(blo+l), int64(n4), &out[blo+l])
+				for k := n4; k < rn; k++ {
+					out[blo+l+k] = dotColsSample(intercept, row, cols, blo+l+k)
+				}
+			} else {
+				dotColsRun(intercept, row, cols, blo+l, rn, out[blo+l:blo+r])
+			}
+			l = r
+		}
+	}
+}
+
+// classifyRowsRange fills out[lo:hi] with 1-based LeafIDs through the
+// blocked row-major kernel.
+func (c *CompiledTree) classifyRowsRange(samples []dataset.Sample, lo, hi int, out []int) {
+	var refs [laneBlock]int32
+	for blo := lo; blo < hi; blo += laneBlock {
+		n := min(laneBlock, hi-blo)
+		if c.quant {
+			c.routeRowsQuant(samples, blo, n, &refs)
+		} else {
+			c.routeRows(samples, blo, n, &refs)
+		}
+		for l := 0; l < n; l++ {
+			out[blo+l] = int(^refs[l]) + 1
+		}
+	}
+}
+
+// classifyColsRange fills out[lo:hi] with 1-based LeafIDs through the
+// blocked column-major kernel.
+func (c *CompiledTree) classifyColsRange(cols [][]float64, lo, hi int, out []int) {
+	var refs [laneBlock]int32
+	for blo := lo; blo < hi; blo += laneBlock {
+		n := min(laneBlock, hi-blo)
+		if c.quant {
+			c.routeColsQuant(cols, blo, n, &refs)
+		} else {
+			c.routeCols(cols, blo, n, &refs)
+		}
+		for l := 0; l < n; l++ {
+			out[blo+l] = int(^refs[l]) + 1
+		}
+	}
+}

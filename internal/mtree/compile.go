@@ -23,6 +23,14 @@ package mtree
 // traversal touches a handful of small arrays instead of chasing
 // heap-scattered node pointers.
 //
+// The node arrays are ordered depth-layered breadth-first: every tree
+// level occupies a contiguous index range, so a block of samples
+// descending in lockstep touches one run of the attr/threshold arrays
+// per level instead of hopping across a preorder scatter. Leaf indices
+// stay in left-to-right order regardless (leaf index l is LeafID l+1);
+// only interior ordering changed. See blocked.go for the multi-sample
+// kernels that exploit the layout.
+//
 // The pointer tree remains the induction/serialization representation;
 // a CompiledTree is derived from it once per trained model and predicts
 // identically (to float rounding, well inside 1e-9) with smoothing on or
@@ -32,7 +40,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"math"
 
 	"specchar/internal/dataset"
 	"specchar/internal/linreg"
@@ -60,8 +68,9 @@ type CompiledTree struct {
 	width  int  // schema attribute count = dense coefficient row width
 	smooth bool // whether smoothing was folded into the leaf models
 
-	// Interior nodes, structure-of-arrays. A child reference r >= 0 is an
-	// interior node index; r < 0 encodes leaf index ^r.
+	// Interior nodes, structure-of-arrays, in depth-layered breadth-first
+	// order (every level contiguous, root at index 0). A child reference
+	// r >= 0 is an interior node index; r < 0 encodes leaf index ^r.
 	attrs      []int32
 	thresholds []float64
 	left       []int32
@@ -73,6 +82,53 @@ type CompiledTree struct {
 	// index l corresponds to LeafID l+1.
 	intercepts []float64
 	coefs      []float64
+
+	// Derived arrays built by finish(), never serialized.
+	//
+	// kids interleaves the child references as [left0,right0,left1,…] so
+	// the blocked kernels route with one unpredictable-branch-free load:
+	// ref = kids[2*ref+b] where b∈{0,1} is the comparison outcome.
+	kids []int32
+	// thrLo32/thrHi32 bracket each threshold t in float32:
+	// f64(thrLo32[i]) ≤ t ≤ f64(thrHi32[i]). The quantized kernels decide
+	// v ≤ lo → left and v > hi → right from the narrow values alone and
+	// fall back to the exact float64 compare only inside the bracket, so
+	// quantized routing is leaf-identical by construction.
+	thrLo32 []float32
+	thrHi32 []float32
+
+	// Leaf boxes for memoized routing. Every leaf's region is an exact
+	// product of half-open intervals (lo_a, hi_a] — lo is the max of the
+	// thresholds on right turns down its path, hi the min on left turns —
+	// so "x routes to leaf l" is equivalent to the branch-free membership
+	// test ∀a: lo_a < x_a ≤ hi_a, with unconstrained attributes at
+	// (-Inf, +Inf]. The fused kernel checks each sample against the
+	// previous sample's leaf first and only routes on a miss; a NaN fails
+	// every comparison, so NaN samples always fall through to the exact
+	// route and keep the scalar path's NaN-goes-right semantics.
+	//
+	// Layout: per leaf, attribute lanes padded to a multiple of 8 (pad
+	// lanes stay (-Inf, +Inf], which masked-to-zero x lanes satisfy), the
+	// lo and hi vectors interleaved per 8-lane stride:
+	// [lo0..7, hi0..7, lo8..15, hi8..15, …]. One extra sentinel box after
+	// the last leaf has lo=+Inf everywhere, which no sample can enter —
+	// the "no current leaf" state at the start of a chunk.
+	boxes    []float64
+	boxelems int // floats per box = 2 * (width rounded up to 8)
+
+	// Packed interior metadata for the register-resident route on a box
+	// miss: attr | left<<16 | right<<32, children as extended refs (an
+	// interior node keeps its index, leaf index l becomes interior+l) so
+	// one unsigned compare against `interior` detects arrival. Only built
+	// when the u16 fields fit (packedOK); the generic kernels cover the
+	// rest.
+	packed   []uint64
+	rootExt  int64
+	packedOK bool
+
+	// quant selects the quantized-threshold blocked kernels. Off by
+	// default; enable per call site with WithQuantized.
+	quant bool
 }
 
 // Compile lowers the tree into its flat evaluation form, folding the
@@ -133,18 +189,42 @@ func (t *Tree) CompileContext(ctx context.Context) (*CompiledTree, error) {
 		schema:     t.Schema,
 		width:      w,
 		smooth:     t.Opts.Smooth,
-		attrs:      make([]int32, 0, interior),
-		thresholds: make([]float64, 0, interior),
-		left:       make([]int32, 0, interior),
-		right:      make([]int32, 0, interior),
+		attrs:      make([]int32, interior),
+		thresholds: make([]float64, interior),
+		left:       make([]int32, interior),
+		right:      make([]int32, interior),
 		intercepts: make([]float64, 0, leaves),
 		coefs:      make([]float64, 0, leaves*w),
 	}
 	k := t.Opts.SmoothingK
 
+	// Interior nodes get depth-layered breadth-first indices: a queue walk
+	// numbers them in pop order, so every tree level occupies a contiguous
+	// index range and the root is index 0. Leaves are not numbered here —
+	// their indices are assigned left-to-right by the emit walk below, so
+	// LeafID mapping is independent of the interior layout.
+	bfs := make(map[*Node]int32, interior)
+	if !t.Root.IsLeaf() {
+		queue := append(make([]*Node, 0, interior), t.Root)
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			bfs[n] = int32(len(bfs))
+			for _, child := range [2]*Node{n.Left, n.Right} {
+				if !child.IsLeaf() {
+					queue = append(queue, child)
+				}
+			}
+		}
+	}
+
 	// emit walks the tree in leaf order, carrying the accumulated blend of
 	// the ancestor models (acc/intercept) and the remaining weight of the
 	// subtree below (scale). See the derivation at the top of the file.
+	// Interior slots were preassigned by the breadth-first pass; the walk
+	// order — and therefore every floating-point accumulation — is the
+	// same depth-first order as always, so leaf models are byte-identical
+	// to the preorder layout's.
 	var emit func(n *Node, acc []float64, intercept, scale float64) int32
 	emit = func(n *Node, acc []float64, intercept, scale float64) int32 {
 		if n.IsLeaf() {
@@ -154,11 +234,9 @@ func (t *Tree) CompileContext(ctx context.Context) (*CompiledTree, error) {
 			c.coefs = append(c.coefs, acc...)
 			return int32(^li)
 		}
-		idx := int32(len(c.attrs))
-		c.attrs = append(c.attrs, int32(n.Attr))
-		c.thresholds = append(c.thresholds, n.Threshold)
-		c.left = append(c.left, 0)
-		c.right = append(c.right, 0)
+		idx := bfs[n]
+		c.attrs[idx] = int32(n.Attr)
+		c.thresholds[idx] = n.Threshold
 		for side, child := range [2]*Node{n.Left, n.Right} {
 			childAcc := append(make([]float64, 0, w), acc...)
 			childIntercept, childScale := intercept, scale
@@ -183,11 +261,125 @@ func (t *Tree) CompileContext(ctx context.Context) (*CompiledTree, error) {
 	_, sp := rec.StartSpan(sctx, lowerPhase)
 	c.rootRef = emit(t.Root, make([]float64, w), 0, 1)
 	sp.End()
+	c.finish()
 	if rec.Enabled() {
 		span.SetAttr("leaves", leaves)
 		span.SetAttr("interior", interior)
 	}
 	return c, nil
+}
+
+// finish builds the derived routing structures the blocked and fused
+// kernels read — the interleaved kids table, the float32 threshold
+// brackets, the exact leaf boxes, and the packed route metadata. Called
+// once after the node arrays are final, from compilation and artifact
+// load.
+func (c *CompiledTree) finish() {
+	c.kids = make([]int32, 2*len(c.attrs))
+	for i := range c.attrs {
+		c.kids[2*i] = c.left[i]
+		c.kids[2*i+1] = c.right[i]
+	}
+	c.thrLo32 = make([]float32, len(c.thresholds))
+	c.thrHi32 = make([]float32, len(c.thresholds))
+	for i, t := range c.thresholds {
+		lo := float32(t)
+		for float64(lo) > t {
+			lo = math.Nextafter32(lo, float32(math.Inf(-1)))
+		}
+		hi := float32(t)
+		for float64(hi) < t {
+			hi = math.Nextafter32(hi, float32(math.Inf(1)))
+		}
+		c.thrLo32[i] = lo
+		c.thrHi32[i] = hi
+	}
+	c.finishBoxes()
+	c.finishPacked()
+}
+
+// finishBoxes derives the per-leaf interval boxes (see the field comment
+// for layout and semantics) by one walk over the flat node arrays,
+// narrowing a running (lo, hi] interval per attribute and snapshotting it
+// at each leaf.
+func (c *CompiledTree) finishBoxes() {
+	w := c.width
+	wpad := (w + 7) &^ 7
+	c.boxelems = 2 * wpad
+	nl := len(c.intercepts)
+	c.boxes = make([]float64, (nl+1)*c.boxelems)
+	ninf, pinf := math.Inf(-1), math.Inf(1)
+	for i := range c.boxes {
+		// Default every lo lane to -Inf and every hi lane to +Inf; pad
+		// lanes keep these and always pass against masked-to-zero x.
+		if i%16 < 8 {
+			c.boxes[i] = ninf
+		} else {
+			c.boxes[i] = pinf
+		}
+	}
+	setBox := func(li int, lo, hi []float64) {
+		base := li * c.boxelems
+		for j := 0; j < w; j++ {
+			c.boxes[base+(j/8)*16+j%8] = lo[j]
+			c.boxes[base+(j/8)*16+8+j%8] = hi[j]
+		}
+	}
+	lo := make([]float64, w)
+	hi := make([]float64, w)
+	for j := 0; j < w; j++ {
+		lo[j], hi[j] = ninf, pinf
+	}
+	var walk func(ref int32)
+	walk = func(ref int32) {
+		if ref < 0 {
+			setBox(int(^ref), lo, hi)
+			return
+		}
+		a, t := c.attrs[ref], c.thresholds[ref]
+		oh := hi[a]
+		if t < oh {
+			hi[a] = t // left subtree: x ≤ min(hi, t)
+		}
+		walk(c.left[ref])
+		hi[a] = oh
+		ol := lo[a]
+		if t > ol {
+			lo[a] = t // right subtree: x > max(lo, t)
+		}
+		walk(c.right[ref])
+		lo[a] = ol
+	}
+	if nl > 0 {
+		walk(c.rootRef)
+	}
+	// Sentinel box: lo = +Inf on real lanes, so nothing ever matches it.
+	sb := nl * c.boxelems
+	for j := 0; j < w; j++ {
+		c.boxes[sb+(j/8)*16+j%8] = pinf
+	}
+}
+
+// finishPacked derives the u16-packed route metadata when tree size and
+// schema width fit the packing; otherwise packedOK stays false and batch
+// scoring keeps to the generic lane-blocked kernels.
+func (c *CompiledTree) finishPacked() {
+	interior, nl := len(c.attrs), len(c.intercepts)
+	c.packedOK = interior+nl <= 1<<16 && c.width <= 1<<16
+	if !c.packedOK {
+		return
+	}
+	ext := func(r int32) uint64 {
+		if r >= 0 {
+			return uint64(r)
+		}
+		return uint64(interior) + uint64(^r)
+	}
+	c.packed = make([]uint64, interior)
+	for i := range c.attrs {
+		c.packed[i] = uint64(c.attrs[i]) | ext(c.left[i])<<16 | ext(c.right[i])<<32
+	}
+	c.rootExt = int64(ext(c.rootRef))
 }
 
 // accumulateModel adds weight·m into the dense accumulator.
@@ -213,6 +405,26 @@ func (c *CompiledTree) WithWorkers(n int) *CompiledTree {
 	cp.Workers = n
 	return &cp
 }
+
+// WithQuantized returns a view whose batch scoring routes through the
+// float32 quantized-threshold kernels (see blocked.go). Quantized routing
+// is exactly leaf-identical to the float64 kernels — samples landing
+// inside a threshold's float32 bracket fall back to the exact compare —
+// so predictions are bit-identical; the narrow thresholds halve the
+// routing table's memory traffic. Like WithWorkers, the view shares all
+// node and coefficient slabs with the receiver, which is left untouched.
+func (c *CompiledTree) WithQuantized(on bool) *CompiledTree {
+	if on == c.quant {
+		return c
+	}
+	cp := *c
+	cp.quant = on
+	return &cp
+}
+
+// Quantized reports whether batch scoring uses the float32
+// quantized-threshold kernels.
+func (c *CompiledTree) Quantized() bool { return c.quant }
 
 // Schema returns the schema the tree was trained under.
 func (c *CompiledTree) Schema() *dataset.Schema { return c.schema }
@@ -276,17 +488,13 @@ func (c *CompiledTree) ClassifyLeafChecked(x []float64) (int, error) {
 }
 
 // Predict returns the compiled prediction: one traversal plus one dot
-// product against the leaf's pre-composed model. Smoothing, when enabled
-// at compile time, is already folded in. See PredictChecked for the
-// validating entry point.
+// product against the leaf's pre-composed model, evaluated in the fixed
+// four-lane FMA schedule of fmadot.go (bit-identical to the batch row
+// kernels). Smoothing, when enabled at compile time, is already folded
+// in. See PredictChecked for the validating entry point.
 func (c *CompiledTree) Predict(x []float64) float64 {
 	li := c.leafIndex(x)
-	row := c.coefs[li*c.width : (li+1)*c.width]
-	y := c.intercepts[li]
-	for j, cf := range row {
-		y += cf * x[j]
-	}
-	return y
+	return dotRow(c.intercepts[li], c.coefs[li*c.width:(li+1)*c.width], x)
 }
 
 // PredictChecked is Predict with input validation, returning
@@ -320,37 +528,12 @@ func (c *CompiledTree) checkDataset(d *dataset.Dataset) error {
 	return nil
 }
 
-// matScratch is the per-chunk row-major copy of the sample matrix used by
-// batch scoring. Pooled so steady-state batch prediction allocates only
-// its output slice.
-type matScratch struct{ flat []float64 }
-
-var matPool = sync.Pool{New: func() any { return new(matScratch) }}
-
-func (sc *matScratch) resize(n int) []float64 {
-	if cap(sc.flat) < n {
-		sc.flat = make([]float64, n)
-	}
-	return sc.flat[:n]
-}
-
-// copyRows packs rows [lo,hi) of the dataset into a pooled row-major
-// slab, so the scoring loop streams one contiguous block instead of
-// heap-scattered per-sample vectors.
-func (c *CompiledTree) copyRows(d *dataset.Dataset, lo, hi int) (*matScratch, []float64) {
-	sc := matPool.Get().(*matScratch)
-	flat := sc.resize((hi - lo) * c.width)
-	for i := lo; i < hi; i++ {
-		copy(flat[(i-lo)*c.width:(i-lo+1)*c.width], d.Samples[i].X)
-	}
-	return sc, flat
-}
-
 // PredictDataset returns compiled predictions for every sample in d.
-// Large batches are scored in fixed chunks across the worker pool; each
-// chunk walks a row-major copy of its slice of the sample matrix. The
-// sample rows must match the schema width; see PredictDatasetChecked for
-// the validating entry point.
+// Large batches are scored in laneBlock-sample blocks across the worker
+// pool — each node's (attr, threshold) pair is loaded once per block
+// instead of once per sample; see blocked.go. The sample rows must match
+// the schema width; see PredictDatasetChecked for the validating entry
+// point.
 func (c *CompiledTree) PredictDataset(d *dataset.Dataset) []float64 {
 	out, err := c.PredictDatasetContext(context.Background(), d)
 	if err != nil {
@@ -363,6 +546,9 @@ func (c *CompiledTree) PredictDataset(d *dataset.Dataset) []float64 {
 // scoring workers pull fixed chunks and check the context at every chunk
 // boundary, so a canceled context returns a wrapped ctx.Err() within one
 // chunk of work; a panicking worker is contained and returned as an error.
+// The chunk size is a multiple of the lane block, so block boundaries —
+// and with them the exact floating-point schedule — are identical at
+// every worker count.
 func (c *CompiledTree) PredictDatasetContext(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
 	workers := effectiveWorkers(c.Workers)
 	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.predict",
@@ -370,18 +556,80 @@ func (c *CompiledTree) PredictDatasetContext(ctx context.Context, d *dataset.Dat
 	span.SetRows(d.Len())
 	defer span.End()
 	out := make([]float64, d.Len())
-	err := forRangesCtx(ctx, d.Len(), workers, "mtree.predict.chunk", func(lo, hi int) {
-		sc, flat := c.copyRows(d, lo, hi)
-		w := c.width
-		for r, i := 0, lo; i < hi; r, i = r+1, i+1 {
-			out[i] = c.Predict(flat[r*w : (r+1)*w])
-		}
-		matPool.Put(sc)
+	err := forRangesChunkCtx(ctx, d.Len(), workers, blockedChunk, "mtree.predict.chunk", func(lo, hi int) {
+		c.predictRowsRange(d.Samples, lo, hi, out)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mtree: compiled batch prediction: %w", err)
 	}
 	return out, nil
+}
+
+// PredictColumns returns compiled predictions for n samples held in
+// column-major form: cols[j][i] is attribute j of sample i, the layout
+// dataset.Columns and the columnar binary format produce. Scoring reads
+// the columns in place — no row-major copy is ever made. All columns
+// must have length n and len(cols) must match the schema width; see
+// PredictColumnsChecked for the validating entry point.
+func (c *CompiledTree) PredictColumns(cols [][]float64, n int) []float64 {
+	out, err := c.PredictColumnsContext(context.Background(), cols, n)
+	if err != nil {
+		panic(err) // unreachable without cancellation or a contained panic
+	}
+	return out
+}
+
+// PredictColumnsContext is PredictColumns with cooperative cancellation
+// at chunk boundaries, mirroring PredictDatasetContext. Predictions are
+// bit-identical to the row-major paths: the per-sample dot product runs
+// in the same ascending-attribute order with one accumulator.
+func (c *CompiledTree) PredictColumnsContext(ctx context.Context, cols [][]float64, n int) ([]float64, error) {
+	workers := effectiveWorkers(c.Workers)
+	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.predict",
+		obs.A("compiled", true), obs.A("columnar", true), obs.A("workers", workers))
+	span.SetRows(n)
+	defer span.End()
+	out := make([]float64, n)
+	err := forRangesChunkCtx(ctx, n, workers, blockedChunk, "mtree.predict.chunk", func(lo, hi int) {
+		c.predictColsRange(cols, lo, hi, out)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mtree: compiled columnar prediction: %w", err)
+	}
+	return out, nil
+}
+
+// PredictColumnsChecked validates the column set (schema width, equal
+// column lengths) before predicting — the safe entry point for columnar
+// files loaded from disk.
+func (c *CompiledTree) PredictColumnsChecked(cols [][]float64, n int) ([]float64, error) {
+	if err := c.checkColumns(cols, n); err != nil {
+		return nil, err
+	}
+	return c.PredictColumns(cols, n), nil
+}
+
+// PredictColumnsCheckedContext combines the validation of
+// PredictColumnsChecked with the cancellation of PredictColumnsContext.
+func (c *CompiledTree) PredictColumnsCheckedContext(ctx context.Context, cols [][]float64, n int) ([]float64, error) {
+	if err := c.checkColumns(cols, n); err != nil {
+		return nil, err
+	}
+	return c.PredictColumnsContext(ctx, cols, n)
+}
+
+// checkColumns validates a column-major sample matrix against the schema.
+func (c *CompiledTree) checkColumns(cols [][]float64, n int) error {
+	if err := c.checkWidth(len(cols)); err != nil {
+		return err
+	}
+	for j := range cols {
+		if len(cols[j]) != n {
+			return fmt.Errorf("%w: column %d has %d samples, want %d",
+				ErrSampleWidth, j, len(cols[j]), n)
+		}
+	}
+	return nil
 }
 
 // PredictDatasetChecked validates the dataset against the compiled schema
@@ -422,16 +670,32 @@ func (c *CompiledTree) ClassifyLeavesContext(ctx context.Context, d *dataset.Dat
 	span.SetRows(d.Len())
 	defer span.End()
 	out := make([]int, d.Len())
-	err := forRangesCtx(ctx, d.Len(), workers, "mtree.predict.chunk", func(lo, hi int) {
-		sc, flat := c.copyRows(d, lo, hi)
-		w := c.width
-		for r, i := 0, lo; i < hi; r, i = r+1, i+1 {
-			out[i] = c.leafIndex(flat[r*w:(r+1)*w]) + 1
-		}
-		matPool.Put(sc)
+	err := forRangesChunkCtx(ctx, d.Len(), workers, blockedChunk, "mtree.predict.chunk", func(lo, hi int) {
+		c.classifyRowsRange(d.Samples, lo, hi, out)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mtree: compiled leaf classification: %w", err)
+	}
+	return out, nil
+}
+
+// ClassifyLeavesColumns returns the 1-based LeafID of n column-major
+// samples (cols[j][i] is attribute j of sample i), batched like
+// PredictColumns. The column set must satisfy checkColumns; callers with
+// external data should validate with PredictColumnsChecked's discipline
+// first.
+func (c *CompiledTree) ClassifyLeavesColumns(ctx context.Context, cols [][]float64, n int) ([]int, error) {
+	workers := effectiveWorkers(c.Workers)
+	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.classify",
+		obs.A("columnar", true), obs.A("workers", workers))
+	span.SetRows(n)
+	defer span.End()
+	out := make([]int, n)
+	err := forRangesChunkCtx(ctx, n, workers, blockedChunk, "mtree.predict.chunk", func(lo, hi int) {
+		c.classifyColsRange(cols, lo, hi, out)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mtree: compiled columnar leaf classification: %w", err)
 	}
 	return out, nil
 }

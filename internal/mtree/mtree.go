@@ -912,6 +912,15 @@ const predictChunk = 2048
 // canceled, the contained *robust.PanicError when fn panics, or an
 // injected fault at the named site.
 func forRangesCtx(ctx context.Context, n, workers int, site string, fn func(lo, hi int)) error {
+	return forRangesChunkCtx(ctx, n, workers, predictChunk, site, fn)
+}
+
+// forRangesChunkCtx is forRangesCtx with an explicit chunk size. The
+// blocked scoring kernels use a chunk that is a multiple of their lane
+// block, so absolute block boundaries — and therefore the floating-point
+// evaluation order within each block — are identical at every worker
+// count.
+func forRangesChunkCtx(ctx context.Context, n, workers, chunk int, site string, fn func(lo, hi int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -924,14 +933,14 @@ func forRangesCtx(ctx context.Context, n, workers int, site string, fn func(lo, 
 		// The serial path gets the same containment and per-chunk
 		// cancellation checks as the pool.
 		return robust.Safely(func() error {
-			for lo := 0; lo < n; lo += predictChunk {
+			for lo := 0; lo < n; lo += chunk {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 				if err := body(); err != nil {
 					return err
 				}
-				fn(lo, min(lo+predictChunk, n))
+				fn(lo, min(lo+chunk, n))
 			}
 			return nil
 		})
@@ -944,14 +953,14 @@ func forRangesCtx(ctx context.Context, n, workers int, site string, fn func(lo, 
 				if gctx.Err() != nil {
 					return nil // Wait surfaces the cause
 				}
-				lo := int(next.Add(predictChunk)) - predictChunk
+				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return nil
 				}
 				if err := body(); err != nil {
 					return err
 				}
-				fn(lo, min(lo+predictChunk, n))
+				fn(lo, min(lo+chunk, n))
 			}
 		})
 	}

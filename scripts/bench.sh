@@ -1,26 +1,28 @@
 #!/bin/sh
 # Runs the build/predict benchmarks and writes a JSON evidence file via
-# cmd/benchjson. The checked-in BENCH_PR5.json was produced by this
-# script; the embedded baselines are the pre-PR (per-node quicksort,
-# row-major QR) measurements on the same container, so the speedup
-# fields document the presorted induction path's win directly.
+# cmd/benchjson. The checked-in BENCH_PR7.json was produced by this
+# script; the embedded predict baselines are the BENCH_PR5.json
+# measurements (scalar blocked traversal, per-chunk row copies) on the
+# same container family, so the speedup fields document the fused
+# AVX-512 batch kernel's win directly. The build baselines carry over
+# unchanged from BENCH_PR5.json (measured at commit b6c7297: per-node
+# quicksort, row-major QR).
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR7.json}"
 benchtime="${BENCHTIME:-6x}"
 
-# Pre-PR baselines (ns/op) measured at commit b6c7297 with the same
-# -benchtime: the numbers BenchmarkBuildSerial/Parallel reported before
-# the presorted split search and prefix-reusing Simplify landed.
 go test -run '^$' -bench 'BenchmarkBuild|BenchmarkPredict' \
     -benchtime "$benchtime" -benchmem . |
     tee /dev/stderr |
     go run ./cmd/benchjson \
-        -label "PR5 presorted column-major induction" \
+        -label "PR7 fused blocked traversal and columnar ingest" \
         -baseline BenchmarkBuildSerial=268747454 \
         -baseline BenchmarkBuildParallel=270228908 \
+        -baseline BenchmarkPredictDatasetCompiledSerial=290942 \
+        -baseline BenchmarkPredictDatasetCompiledParallel=295845 \
         -o "$out"
 echo "wrote $out" >&2

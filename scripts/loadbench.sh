@@ -2,7 +2,8 @@
 # Produces the serving-latency evidence file for the scoring daemon: a
 # specchard -selfbench run (ephemeral daemon on a loopback port, quick
 # cpu2006 model, closed-loop clients at batch sizes 1/16/64) whose JSON
-# output records p50/p99 request latency and QPS at saturation per phase.
+# output records p50/p99 request latency, QPS, and samples/sec per phase, headlined by
+# peak samples/sec (comparable across batch sizes, unlike QPS).
 # The checked-in BENCH_PR6.json was produced by this script.
 #
 # Usage: scripts/loadbench.sh [output.json]
