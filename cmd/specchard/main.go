@@ -9,9 +9,21 @@
 //
 //	specchard [-addr host:port] [-model name=artifact.sct ...]
 //	          [-train cpu2006,omp2001] [-quick]
+//	          [-state-dir DIR] [-state-compact-bytes N]
 //	          [-workers N] [-max-batch N] [-batch-wait D] [-max-pending N]
+//	          [-default-timeout D] [-retry-after D]
+//	          [-read-timeout D] [-write-timeout D] [-idle-timeout D]
+//	          [-read-header-timeout D]
 //	          [-drain D] [-log-json]
 //	specchard -selfbench [-selfbench-duration D]
+//
+// With -state-dir the registry is durable: every load stages the
+// artifact and journals the mutation before publishing it, and a
+// restarted daemon replays the journal back to the same models with
+// continued version counters. Corrupt entries are quarantined with a
+// warning rather than blocking boot. The SPECCHAR_FAULTS environment
+// variable arms fault injection for chaos drills (requires a binary
+// built with -tags faultinject; see internal/faultinject).
 //
 // Endpoints:
 //
@@ -44,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"specchar/internal/faultinject"
 	"specchar/internal/mtree"
 	"specchar/internal/obs"
 	"specchar/internal/registry"
@@ -71,64 +84,147 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// options collects every daemon knob in one place; run and its helpers
+// take this instead of a parade of positionals.
+type options struct {
+	addr              string
+	models            modelFlags
+	train             string
+	quick             bool
+	workers           int
+	maxBatch          int
+	batchWait         time.Duration
+	maxPending        int
+	defaultTimeout    time.Duration
+	retryAfter        time.Duration
+	stateDir          string
+	stateCompactBytes int64
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	drain             time.Duration
+	logJSON           bool
+	selfbench         bool
+	selfbenchDur      time.Duration
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specchard: ")
-	var models modelFlags
-	addr := flag.String("addr", "127.0.0.1:8572", "listen address")
-	flag.Var(&models, "model", "load a compiled-tree artifact as name=path (repeatable)")
-	train := flag.String("train", "", "comma-separated suites to train and load at startup (cpu2006,omp2001)")
-	quick := flag.Bool("quick", false, "reduced-scale -train generation")
-	workers := flag.Int("workers", 0, "goroutine bound per scoring batch (0 = serve default)")
-	maxBatch := flag.Int("max-batch", 0, "max samples per scoring batch (0 = serve default)")
-	batchWait := flag.Duration("batch-wait", 0, "linger for stragglers once a batch is open (0 = serve default)")
-	maxPending := flag.Int("max-pending", 0, "admission bound: queued samples per model (0 = serve default)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
-	logJSON := flag.Bool("log-json", false, "stream the span trace as JSON Lines to stderr")
-	selfbench := flag.Bool("selfbench", false, "start an ephemeral daemon, load-test it at batch 1/16/64, print JSON, exit")
-	selfbenchDur := flag.Duration("selfbench-duration", 3*time.Second, "duration of each -selfbench phase")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8572", "listen address")
+	flag.Var(&o.models, "model", "load a compiled-tree artifact as name=path (repeatable)")
+	flag.StringVar(&o.train, "train", "", "comma-separated suites to train and load at startup (cpu2006,omp2001)")
+	flag.BoolVar(&o.quick, "quick", false, "reduced-scale -train generation")
+	flag.IntVar(&o.workers, "workers", 0, "goroutine bound per scoring batch (0 = serve default)")
+	flag.IntVar(&o.maxBatch, "max-batch", 0, "max samples per scoring batch (0 = serve default)")
+	flag.DurationVar(&o.batchWait, "batch-wait", 0, "linger for stragglers once a batch is open (0 = serve default)")
+	flag.IntVar(&o.maxPending, "max-pending", 0, "admission bound: queued samples per model (0 = serve default)")
+	flag.DurationVar(&o.defaultTimeout, "default-timeout", 0, "deadline for score requests without an explicit X-Deadline-Ms header (0 = none)")
+	flag.DurationVar(&o.retryAfter, "retry-after", 0, "Retry-After hint on 429/503 responses (0 = serve default)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "durable registry state directory; empty = in-memory only")
+	flag.Int64Var(&o.stateCompactBytes, "state-compact-bytes", 0, "journal size that triggers compaction (0 = registry default)")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.BoolVar(&o.logJSON, "log-json", false, "stream the span trace as JSON Lines to stderr")
+	flag.BoolVar(&o.selfbench, "selfbench", false, "start an ephemeral daemon, load-test it at batch 1/16/64, print JSON, exit")
+	flag.DurationVar(&o.selfbenchDur, "selfbench-duration", 3*time.Second, "duration of each -selfbench phase")
 	flag.Parse()
 
-	if err := run(*addr, models, *train, *quick, *workers, *maxBatch, *batchWait,
-		*maxPending, *drain, *logJSON, *selfbench, *selfbenchDur); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, models modelFlags, train string, quick bool,
-	workers, maxBatch int, batchWait time.Duration, maxPending int,
-	drain time.Duration, logJSON, selfbench bool, selfbenchDur time.Duration) error {
+// httpServer wraps the handler in a hardened http.Server: every timeout
+// set, so one stalled peer cannot pin a connection (and its goroutine)
+// forever. Used by both the daemon and the selfbench harness.
+func (o options) httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
+}
+
+// openRegistry builds the model store: in-memory without -state-dir,
+// durable (journal replay, quarantine warnings) with it.
+func openRegistry(o options, rec *obs.Recorder) (*registry.Registry, error) {
+	if o.stateDir == "" {
+		return registry.New(), nil
+	}
+	reg, rep, err := registry.Open(o.stateDir, registry.OpenOptions{
+		Recorder:     rec,
+		CompactBytes: o.stateCompactBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.TornTail {
+		log.Printf("state: journal had a torn tail (crash mid-append); incomplete record dropped")
+	}
+	for _, q := range rep.Quarantined {
+		log.Printf("state: WARNING: quarantined %s v%d (sha %.12s): %s", q.Name, q.Version, q.SHA256, q.Reason)
+	}
+	for _, m := range rep.Models {
+		log.Printf("state: recovered %q v%d (sha %.12s)", m.Name, m.Version, m.SHA256)
+	}
+	log.Printf("state: %s: %d model(s) recovered, %d quarantined",
+		o.stateDir, len(rep.Models), len(rep.Quarantined))
+	return reg, nil
+}
+
+func run(o options) error {
+	if spec := os.Getenv("SPECCHAR_FAULTS"); spec != "" {
+		n, err := faultinject.ActivateFromEnv(spec)
+		if err != nil {
+			return err
+		}
+		log.Printf("fault injection ARMED: %d fault(s) from SPECCHAR_FAULTS", n)
+	}
 	var sinks []obs.Sink
-	if logJSON {
+	if o.logJSON {
 		sinks = append(sinks, obs.NewJSONLSink(os.Stderr))
 	}
 	rec := obs.New(sinks...)
-	reg := registry.New()
+	reg, err := openRegistry(o, rec)
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
 
-	if selfbench {
-		return runSelfbench(rec, reg, workers, maxBatch, batchWait, maxPending, selfbenchDur)
+	if o.selfbench {
+		return runSelfbench(rec, reg, o)
 	}
 
-	if err := loadModels(reg, models, train, quick); err != nil {
+	if err := loadModels(reg, o.models, o.train, o.quick); err != nil {
 		return err
 	}
 	srv, err := serve.New(serve.Config{
-		Registry:   reg,
-		Recorder:   rec,
-		MaxBatch:   maxBatch,
-		BatchWait:  batchWait,
-		MaxPending: maxPending,
-		Workers:    workers,
+		Registry:       reg,
+		Recorder:       rec,
+		MaxBatch:       o.maxBatch,
+		BatchWait:      o.batchWait,
+		MaxPending:     o.maxPending,
+		Workers:        o.workers,
+		DefaultTimeout: o.defaultTimeout,
+		RetryAfter:     o.retryAfter,
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := o.httpServer(srv.Handler())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -143,8 +239,8 @@ func run(addr string, models modelFlags, train string, quick bool,
 	case <-ctx.Done():
 	}
 	stop() // second signal kills the process the default way
-	log.Printf("shutting down: draining in-flight requests (budget %s)", drain)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("shutting down: draining in-flight requests (budget %s)", o.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
 		log.Printf("drain budget exhausted: %v", err)
@@ -234,9 +330,7 @@ func trainSuite(name string, quick bool) (*mtree.CompiledTree, error) {
 // quick-trained cpu2006 model, drives it at batch sizes 1, 16 and 64
 // with serve.RunLoad, and prints one JSON document of the results —
 // the source of BENCH_PR6.json.
-func runSelfbench(rec *obs.Recorder, reg *registry.Registry,
-	workers, maxBatch int, batchWait time.Duration, maxPending int,
-	dur time.Duration) error {
+func runSelfbench(rec *obs.Recorder, reg *registry.Registry, o options) error {
 	log.Print("selfbench: training quick cpu2006 model")
 	tree, err := trainSuite("cpu2006", true)
 	if err != nil {
@@ -248,10 +342,10 @@ func runSelfbench(rec *obs.Recorder, reg *registry.Registry,
 	srv, err := serve.New(serve.Config{
 		Registry:   reg,
 		Recorder:   rec,
-		MaxBatch:   maxBatch,
-		BatchWait:  batchWait,
-		MaxPending: maxPending,
-		Workers:    workers,
+		MaxBatch:   o.maxBatch,
+		BatchWait:  o.batchWait,
+		MaxPending: o.maxPending,
+		Workers:    o.workers,
 	})
 	if err != nil {
 		return err
@@ -261,7 +355,7 @@ func runSelfbench(rec *obs.Recorder, reg *registry.Registry,
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := o.httpServer(srv.Handler())
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
@@ -275,14 +369,14 @@ func runSelfbench(rec *obs.Recorder, reg *registry.Registry,
 	conc := 4 * runtime.GOMAXPROCS(0)
 	results := make([]*serve.LoadResult, 0, 3)
 	for _, batch := range []int{1, 16, 64} {
-		log.Printf("selfbench: batch %d, concurrency %d, %s", batch, conc, dur)
+		log.Printf("selfbench: batch %d, concurrency %d, %s", batch, conc, o.selfbenchDur)
 		res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
 			URL:         base,
 			Model:       "cpu2006",
 			Samples:     samples,
 			Batch:       batch,
 			Concurrency: conc,
-			Duration:    dur,
+			Duration:    o.selfbenchDur,
 		})
 		if err != nil {
 			// Saturation 429s are data, not faults; report and keep going.

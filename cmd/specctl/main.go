@@ -1,0 +1,173 @@
+// Command specctl is the operator CLI for a running specchard daemon.
+// It speaks through internal/client, so every invocation gets the same
+// resilience the Go API offers: capped full-jitter backoff, Retry-After
+// honoring, a retry budget, and a circuit breaker.
+//
+// Usage:
+//
+//	specctl [-addr URL] [-timeout D] [-retries N] <command> [args]
+//
+// Commands:
+//
+//	health [-wait D]     liveness; -wait polls until healthy or D elapses
+//	models               list loaded models (JSON)
+//	model NAME           one model's version and shape (JSON)
+//	put NAME FILE        load or hot-swap a compiled-tree artifact
+//	rm NAME              unload a model
+//	score NAME [FILE]    score samples from FILE (or stdin when absent
+//	                     or "-"); input is [[...]] rows or
+//	                     {"samples": [[...]]}
+//
+// Exit status is 0 on success, 1 on any failure; errors go to stderr,
+// results to stdout as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"specchar/internal/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specctl: ")
+	addr := flag.String("addr", "http://127.0.0.1:8572", "daemon base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline per command (propagated to the daemon for score)")
+	retries := flag.Int("retries", 0, "max retries per request (0 = client default, -1 = none)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: specctl [-addr URL] [-timeout D] [-retries N] <health|models|model|put|rm|score> [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := client.New(client.Config{BaseURL: *addr, MaxRetries: *retries})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if err := dispatch(ctx, c, flag.Arg(0), flag.Args()[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dispatch(ctx context.Context, c *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "health":
+		fs := flag.NewFlagSet("health", flag.ExitOnError)
+		wait := fs.Duration("wait", 0, "poll until healthy or this long")
+		fs.Parse(args)
+		if *wait > 0 {
+			if err := c.WaitHealthy(ctx, *wait); err != nil {
+				return err
+			}
+		}
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		return emit(h)
+	case "models":
+		if len(args) != 0 {
+			return fmt.Errorf("models takes no arguments")
+		}
+		models, err := c.ListModels(ctx)
+		if err != nil {
+			return err
+		}
+		return emit(map[string]any{"models": models})
+	case "model":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: specctl model NAME")
+		}
+		m, err := c.GetModel(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		return emit(m)
+	case "put":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: specctl put NAME FILE")
+		}
+		artifact, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		m, err := c.PutModel(ctx, args[0], artifact)
+		if err != nil {
+			return err
+		}
+		return emit(m)
+	case "rm":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: specctl rm NAME")
+		}
+		if err := c.DeleteModel(ctx, args[0]); err != nil {
+			return err
+		}
+		return emit(map[string]string{"removed": args[0]})
+	case "score":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("usage: specctl score NAME [FILE]")
+		}
+		samples, err := readSamples(args[1:])
+		if err != nil {
+			return err
+		}
+		res, err := c.Score(ctx, args[0], samples)
+		if err != nil {
+			return err
+		}
+		return emit(res)
+	default:
+		return fmt.Errorf("unknown command %q (want health, models, model, put, rm or score)", cmd)
+	}
+}
+
+// readSamples accepts either a bare [[...]] row array or a
+// {"samples": [[...]]} document, from the named file or stdin.
+func readSamples(args []string) ([][]float64, error) {
+	var raw []byte
+	var err error
+	if len(args) == 0 || args[0] == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]float64
+	if json.Unmarshal(raw, &rows) == nil && len(rows) > 0 {
+		return rows, nil
+	}
+	var doc struct {
+		Samples [][]float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parsing samples: %w", err)
+	}
+	if len(doc.Samples) == 0 {
+		return nil, fmt.Errorf("no samples in input")
+	}
+	return doc.Samples, nil
+}
+
+func emit(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -3,8 +3,13 @@
 package faultinject
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -114,6 +119,22 @@ func CheckPanic(site string) {
 	}
 }
 
+// CheckCrash raises SIGKILL on the process when a kill fault fires at the
+// site: the crash half of the daemon's kill/recover harness. SIGKILL (not
+// os.Exit) because a crash runs no deferred cleanup — exactly the torn
+// state recovery must survive. The call never returns once the fault
+// fires; it parks the goroutine until the signal lands.
+func CheckCrash(site string) {
+	if a := next(site, func(f *Fault) bool { return f.Kill }); a != nil {
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+		}
+		for {
+			time.Sleep(time.Second)
+		}
+	}
+}
+
 // Sleep delays the caller when a slow-worker fault fires.
 func Sleep(site string) {
 	if a := next(site, func(f *Fault) bool { return f.DelayMilli > 0 }); a != nil {
@@ -169,5 +190,98 @@ func (fr *faultReader) Read(p []byte) (int, error) {
 		fr.err = a.Err
 		return 0, fr.err
 	}
-	return fr.r.Read(p)
+	n, err := fr.r.Read(p)
+	if n > 0 {
+		// A corruption fault flips one byte of the stream: for CRC-guarded
+		// artifacts this probes the checksum end to end rather than any
+		// particular field.
+		if a := next(fr.site, func(f *Fault) bool { return f.CorruptNaN || f.CorruptInf }); a != nil {
+			p[int(a.calls)%n] ^= 0xFF
+		}
+	}
+	return n, err
+}
+
+// FromSpec parses a fault plan from its textual form, one entry per
+// semicolon-separated element:
+//
+//	site=action[:param][@call]
+//
+// Actions: err[:msg], panic[:msg], nan, inf, delay:<ms>, kill. The @call
+// suffix sets OnCall. A special element seed=N sets the plan seed
+// (returned separately so ActivateFromEnv can pass it to Activate).
+func FromSpec(spec string) (uint64, []Fault, error) {
+	var seed uint64
+	var faults []Fault
+	for _, elem := range strings.Split(spec, ";") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			continue
+		}
+		site, action, ok := strings.Cut(elem, "=")
+		if !ok || site == "" || action == "" {
+			return 0, nil, fmt.Errorf("faultinject: want site=action, got %q", elem)
+		}
+		if site == "seed" {
+			s, err := strconv.ParseUint(action, 10, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("faultinject: bad seed %q: %v", action, err)
+			}
+			seed = s
+			continue
+		}
+		f := Fault{Site: site}
+		if head, call, ok := strings.Cut(action, "@"); ok {
+			n, err := strconv.Atoi(call)
+			if err != nil || n < 1 {
+				return 0, nil, fmt.Errorf("faultinject: bad @call in %q", elem)
+			}
+			f.OnCall = n
+			action = head
+		}
+		verb, param, _ := strings.Cut(action, ":")
+		switch verb {
+		case "err":
+			if param == "" {
+				param = "injected error at " + site
+			}
+			f.Err = errors.New("faultinject: " + param)
+		case "panic":
+			if param == "" {
+				param = "injected panic at " + site
+			}
+			f.Panic = param
+		case "nan":
+			f.CorruptNaN = true
+		case "inf":
+			f.CorruptInf = true
+		case "delay":
+			ms, err := strconv.Atoi(param)
+			if err != nil || ms < 0 {
+				return 0, nil, fmt.Errorf("faultinject: bad delay in %q", elem)
+			}
+			f.DelayMilli = ms
+		case "kill":
+			f.Kill = true
+		default:
+			return 0, nil, fmt.Errorf("faultinject: unknown action %q in %q", verb, elem)
+		}
+		faults = append(faults, f)
+	}
+	return seed, faults, nil
+}
+
+// ActivateFromEnv arms the fault plan described by spec (normally the
+// SPECCHAR_FAULTS environment variable), returning how many faults were
+// armed. An empty spec deactivates nothing and arms nothing.
+func ActivateFromEnv(spec string) (int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return 0, nil
+	}
+	seed, faults, err := FromSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	Activate(seed, faults...)
+	return len(faults), nil
 }

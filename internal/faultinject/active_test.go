@@ -132,3 +132,75 @@ func TestWrapReaderFailsMidStream(t *testing.T) {
 	}
 	_ = io.Discard
 }
+
+func TestFromSpecParsesFullPlan(t *testing.T) {
+	seed, faults, err := FromSpec("registry.journal.append=kill@2; seed=7 ;s=err:disk full;p=panic;w=delay:250;r=nan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 7 {
+		t.Errorf("seed = %d, want 7", seed)
+	}
+	if len(faults) != 5 {
+		t.Fatalf("parsed %d faults, want 5: %+v", len(faults), faults)
+	}
+	kill := faults[0]
+	if kill.Site != "registry.journal.append" || !kill.Kill || kill.OnCall != 2 {
+		t.Errorf("kill fault = %+v", kill)
+	}
+	if e := faults[1]; e.Site != "s" || e.Err == nil || !strings.Contains(e.Err.Error(), "disk full") {
+		t.Errorf("err fault = %+v", e)
+	}
+	if p := faults[2]; p.Site != "p" || !strings.Contains(p.Panic, "injected panic at p") {
+		t.Errorf("panic fault with default message = %+v", p)
+	}
+	if d := faults[3]; d.DelayMilli != 250 {
+		t.Errorf("delay fault = %+v", d)
+	}
+	if c := faults[4]; !c.CorruptNaN {
+		t.Errorf("nan fault = %+v", c)
+	}
+}
+
+func TestFromSpecRejectsMalformedPlans(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",           // missing site=action
+		"=err",               // empty site
+		"s=",                 // empty action
+		"s=explode",          // unknown verb
+		"s=err@zero",         // non-numeric @call
+		"s=err@0",            // @call below 1
+		"s=delay:soon",       // non-numeric delay
+		"s=delay:-1",         // negative delay
+		"seed=notanumber",    // bad seed
+		"s=kill;t=whatisthi", // error anywhere poisons the whole plan
+	} {
+		if _, _, err := FromSpec(spec); err == nil {
+			t.Errorf("FromSpec(%q) accepted a malformed plan", spec)
+		}
+	}
+}
+
+// ActivateFromEnv with a live spec arms the plan process-wide — the
+// path the daemon takes when SPECCHAR_FAULTS is set — and an empty or
+// blank spec arms nothing without clearing an existing plan.
+func TestActivateFromEnvArmsThePlan(t *testing.T) {
+	defer Deactivate()
+	n, err := ActivateFromEnv("s=err:boom@2;seed=3")
+	if err != nil || n != 1 {
+		t.Fatalf("ActivateFromEnv: n=%d err=%v, want 1 armed", n, err)
+	}
+	if err := Check("s"); err != nil {
+		t.Errorf("fired on first arrival, configured for second: %v", err)
+	}
+	if err := Check("s"); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("second arrival: err = %v, want injected boom", err)
+	}
+
+	if n, err := ActivateFromEnv("   "); err != nil || n != 0 {
+		t.Errorf("blank spec: n=%d err=%v, want 0 armed and no error", n, err)
+	}
+	if _, err := ActivateFromEnv("bad spec"); err == nil {
+		t.Error("malformed env spec accepted")
+	}
+}

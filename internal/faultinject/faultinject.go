@@ -20,6 +20,28 @@
 //	mtree.cv.fold            cross-validation fold worker
 //	mtree.importance.attr    permutation-importance attribute worker
 //	suites.generate.bench    per-benchmark generation worker
+//
+// Serving-layer sites (the daemon's durability and batch paths):
+//
+//	registry.artifact.write  staged artifact about to be journaled (Check, CheckCrash)
+//	registry.artifact.read   io.Reader wrapped on recovery artifact load
+//	registry.journal.append  manifest journal record append (Check, CheckCrash)
+//	registry.journal.compact journal compaction rewrite (Check, CheckCrash)
+//	serve.batch.flush        batch dispatcher flush (Sleep, CheckPanic)
+//
+// At reader sites a corruption fault (CorruptNaN/CorruptInf) flips one
+// byte of the stream per firing read — for checksummed artifacts that is
+// an end-to-end corruption probe, not a parse-level one.
+//
+// For chaos experiments against a separate daemon process, the active
+// build also arms faults from a spec string (see ActivateFromEnv and the
+// SPECCHAR_FAULTS environment variable read by cmd/specchard):
+//
+//	site=action[:param][@call] [; site=action... ] [; seed=N]
+//
+// with actions err[:msg], panic[:msg], nan, inf, delay:<ms>, and kill —
+// the last raising SIGKILL on the process at the site, the crash half of
+// the daemon's kill/recover acceptance harness.
 package faultinject
 
 // A Fault describes one configured failure at a named site. The zero
@@ -40,8 +62,9 @@ type Fault struct {
 	// Actions.
 	Err        error  // returned from Check / surfaced by the wrapped reader
 	Panic      string // message passed to panic()
-	CorruptNaN bool   // overwrite one value of the row with NaN
-	CorruptInf bool   // overwrite one value of the row with +Inf
+	CorruptNaN bool   // overwrite one value of the row with NaN (flip a byte at reader sites)
+	CorruptInf bool   // overwrite one value of the row with +Inf (flip a byte at reader sites)
 	DelayMilli int    // sleep this long (artificial slow worker)
+	Kill       bool   // raise SIGKILL on the process at the site (CheckCrash)
 	Y          bool   // corrupt the response instead of a predictor
 }

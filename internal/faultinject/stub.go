@@ -2,7 +2,11 @@
 
 package faultinject
 
-import "io"
+import (
+	"errors"
+	"io"
+	"strings"
+)
 
 // Enabled reports whether the active implementation is compiled in.
 const Enabled = false
@@ -14,6 +18,20 @@ func Check(site string) error { return nil }
 // CheckPanic panics at the site when a panic fault is configured; a no-op
 // in production builds.
 func CheckPanic(site string) {}
+
+// CheckCrash raises SIGKILL at the site when a kill fault is configured;
+// a no-op in production builds.
+func CheckCrash(site string) {}
+
+// ActivateFromEnv arms a fault plan from its textual form in active
+// builds. In production builds a non-empty spec is an error — silently
+// ignoring a requested fault plan would make a chaos run vacuously green.
+func ActivateFromEnv(spec string) (int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return 0, nil
+	}
+	return 0, errors.New("faultinject: fault plan requested but the stub build is compiled in (build with -tags faultinject)")
+}
 
 // Sleep delays the caller when a slow-worker fault is configured; a no-op
 // in production builds.

@@ -1,0 +1,141 @@
+//go:build faultinject
+
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"specchar/internal/faultinject"
+)
+
+// An injected journal-append failure must surface to the caller and
+// leave the registry exactly as it was: no version bump, no model
+// swap, and a clean retry once the disk "heals". The durable write
+// order (artifact, then journal, then publish) makes this the
+// degradation contract for a full disk — DESIGN.md section 13.
+func TestJournalAppendErrorLeavesRegistryUnchanged(t *testing.T) {
+	defer faultinject.Deactivate()
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	treeA := trainedTree(t, 1)
+	treeB := trainedTree(t, 2)
+	if _, err := r.Load("m", treeA, "test"); err != nil {
+		t.Fatal(err)
+	}
+	pre, ok := r.Get("m")
+	if !ok || pre.Version != 1 {
+		t.Fatalf("setup: version %d, want 1", pre.Version)
+	}
+
+	diskFull := errors.New("faultinject: no space left on device")
+	faultinject.Activate(1, faultinject.Fault{Site: "registry.journal.append", Err: diskFull})
+	if _, err := r.Load("m", treeB, "test"); !errors.Is(err, diskFull) {
+		t.Fatalf("Load under journal fault: err = %v, want %v", err, diskFull)
+	}
+	faultinject.Deactivate()
+
+	got, ok := r.Get("m")
+	if !ok || got.Version != pre.Version || got.Tree != pre.Tree {
+		t.Errorf("failed swap mutated registry: v%d tree-changed=%v, want v%d unchanged",
+			got.Version, got.Tree != pre.Tree, pre.Version)
+	}
+
+	// The disk heals; the retry lands and versions stay monotonic.
+	m, err := r.Load("m", treeB, "test")
+	if err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+	if m.Version != 2 {
+		t.Errorf("retry version %d, want 2", m.Version)
+	}
+
+	// A fresh Open must replay only what was durably acknowledged.
+	r.Close()
+	r2, rep, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if len(rep.Quarantined) != 0 || rep.TornTail {
+		t.Errorf("clean shutdown reported damage: %+v", rep)
+	}
+	got, ok = r2.Get("m")
+	if !ok || got.Version != 2 {
+		t.Errorf("recovered v%d present=%v, want v2", got.Version, ok)
+	}
+}
+
+// An artifact-write failure aborts the swap before the journal is
+// touched: the caller sees the error and recovery never learns the
+// version existed.
+func TestArtifactWriteErrorAbortsBeforeJournal(t *testing.T) {
+	defer faultinject.Deactivate()
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ioErr := errors.New("faultinject: write I/O error")
+	faultinject.Activate(1, faultinject.Fault{Site: "registry.artifact.write", Err: ioErr})
+	if _, err := r.Load("m", trainedTree(t, 1), "test"); !errors.Is(err, ioErr) {
+		t.Fatalf("Load under artifact fault: err = %v, want %v", err, ioErr)
+	}
+	faultinject.Deactivate()
+	if r.Len() != 0 {
+		t.Errorf("aborted load left %d models in registry", r.Len())
+	}
+	r.Close()
+
+	r2, rep, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if len(rep.Models) != 0 {
+		t.Errorf("aborted write replayed as %d models", len(rep.Models))
+	}
+}
+
+// A byte flip anywhere in a stored artifact trips the CRC on replay;
+// the damaged version is quarantined with a reason, not served.
+func TestArtifactReadCorruptionQuarantines(t *testing.T) {
+	defer faultinject.Deactivate()
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m", trainedTree(t, 1), "test"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	faultinject.Activate(1, faultinject.Fault{Site: "registry.artifact.read", CorruptNaN: true})
+	r2, rep, err := Open(dir, OpenOptions{})
+	faultinject.Deactivate()
+	if err != nil {
+		t.Fatalf("corrupt artifact must quarantine, not fail boot: %v", err)
+	}
+	defer r2.Close()
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined %d entries, want 1 (%+v)", len(rep.Quarantined), rep.Quarantined)
+	}
+	q := rep.Quarantined[0]
+	if q.Name != "m" || q.Reason == "" {
+		t.Errorf("quarantine entry %+v lacks name or reason", q)
+	}
+	if strings.TrimSpace(q.SHA256) == "" {
+		t.Errorf("quarantine entry %+v lacks the artifact hash", q)
+	}
+	if _, ok := r2.Get("m"); ok {
+		t.Error("corrupt model is being served")
+	}
+}

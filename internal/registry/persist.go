@@ -1,0 +1,520 @@
+package registry
+
+// Disk-backed registry state: the durability layer behind `specchard
+// -state-dir`.
+//
+// A durable registry keeps two things on disk, both written through
+// internal/robust's atomic temp+rename discipline:
+//
+//   - artifacts/<sha256>.sct — one content-addressed compiled-tree
+//     artifact per distinct model payload, in the CRC-checked mtree
+//     artifact format (mtree.WriteTo/ReadCompiled). Content addressing
+//     dedupes re-uploads and makes the journal's integrity claim local:
+//     a record is valid iff the file it names hashes to the name.
+//   - journal.jsonl — an append-only manifest journal. Every Load and
+//     Remove appends one JSON record carrying op, name, version, artifact
+//     SHA-256 and a per-record CRC-32, then fsyncs, so the journal is the
+//     single source of truth for "which models, which versions".
+//
+// The write order on Load is: stage artifact (temp+rename+dir sync),
+// append journal record (write+fsync), publish in memory. A crash between
+// any two steps leaves either the previous state or the next — the
+// artifact store may hold an unreferenced file (garbage-collected at the
+// next compaction), never a referenced-but-missing one.
+//
+// Open replays the journal: corrupt mid-journal records and artifacts
+// whose bytes fail the SHA-256 or CRC check are quarantined (moved under
+// quarantine/, reported, boot proceeds — mirroring the ingest layer's
+// quarantine policy), and a torn final record (the classic
+// crashed-mid-append state) is tolerated and compacted away. Version
+// counters are replayed for every name ever journaled, including removed
+// and quarantined ones, so a reborn daemon continues the monotonic
+// version sequence instead of restarting it.
+//
+// Compaction rewrites the journal once it passes CompactBytes: one
+// versions record pinning every name's counter, then one load record per
+// live model, swapped in atomically; unreferenced artifacts are deleted
+// afterwards. A crash mid-compaction leaves the old journal in place.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"specchar/internal/faultinject"
+	"specchar/internal/mtree"
+	"specchar/internal/obs"
+	"specchar/internal/robust"
+)
+
+// OpenOptions parameterizes a durable registry. The zero value of every
+// knob means "use the default" noted on the field.
+type OpenOptions struct {
+	// Recorder receives recovery/quarantine counters; nil disables.
+	Recorder *obs.Recorder
+	// CompactBytes is the journal size that triggers compaction
+	// (default 1 MiB).
+	CompactBytes int64
+}
+
+// Store is the disk side of a durable registry: the journal handle and
+// the artifact directory. All methods are called with the owning
+// Registry's writer mutex held.
+type Store struct {
+	dir          string
+	compactBytes int64
+	rec          *obs.Recorder
+
+	lock    *os.File // flock guarding the state dir against a second daemon
+	journal *os.File // append handle, fsynced per record
+	size    int64    // current journal size
+}
+
+// Quarantined reports one journal record or artifact that failed
+// verification during recovery and was set aside instead of served.
+type Quarantined struct {
+	Name    string `json:"name,omitempty"`
+	Version int    `json:"version,omitempty"`
+	SHA256  string `json:"sha256,omitempty"`
+	Reason  string `json:"reason"`
+}
+
+// Recovery is Open's report of what the journal replay found.
+type Recovery struct {
+	// Models are the recovered live entries, sorted by name.
+	Models []*Model
+	// Quarantined lists corrupt records and artifacts that were skipped.
+	Quarantined []Quarantined
+	// TornTail is true when the final journal record was incomplete — the
+	// signature of a crash mid-append. The tail is dropped and the journal
+	// compacted.
+	TornTail bool
+	// Compacted is true when Open rewrote the journal (torn tail, corrupt
+	// records, or size threshold).
+	Compacted bool
+}
+
+// journalRecord is one line of journal.jsonl. CRC is the IEEE CRC-32 of
+// the record's canonical JSON with CRC itself zeroed, so a torn or
+// bit-flipped line is detected without trusting the JSON parser alone.
+type journalRecord struct {
+	Op       string         `json:"op"` // "load", "remove", "versions"
+	Name     string         `json:"name,omitempty"`
+	Version  int            `json:"version,omitempty"`
+	SHA256   string         `json:"sha256,omitempty"`
+	Source   string         `json:"source,omitempty"`
+	UnixNano int64          `json:"unix_nano,omitempty"`
+	Versions map[string]int `json:"versions,omitempty"` // op=versions: counter snapshot
+	CRC      uint32         `json:"crc"`
+}
+
+func (rec *journalRecord) encode() ([]byte, error) {
+	rec.CRC = 0
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.CRC = crc32.ChecksumIEEE(body)
+	return json.Marshal(rec)
+}
+
+// decodeRecord parses and CRC-verifies one journal line.
+func decodeRecord(line []byte) (*journalRecord, error) {
+	var rec journalRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	want := rec.CRC
+	rec.CRC = 0
+	body, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("crc mismatch: record says %08x, content is %08x", want, got)
+	}
+	rec.CRC = want
+	return &rec, nil
+}
+
+const journalName = "journal.jsonl"
+
+func (s *Store) journalPath() string   { return filepath.Join(s.dir, journalName) }
+func (s *Store) artifactsDir() string  { return filepath.Join(s.dir, "artifacts") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.dir, "quarantine") }
+func (s *Store) artifactPath(sha string) string {
+	return filepath.Join(s.artifactsDir(), sha+".sct")
+}
+
+// Open opens (creating if absent) a durable registry rooted at dir,
+// replays its journal, and returns the recovered registry plus the
+// recovery report. The state dir is flock-guarded: a second Open of the
+// same dir fails rather than interleaving two daemons' journals.
+func Open(dir string, opts OpenOptions) (*Registry, *Recovery, error) {
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = 1 << 20
+	}
+	for _, d := range []string{dir, filepath.Join(dir, "artifacts"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("registry: creating state dir: %w", err)
+		}
+	}
+	s := &Store{dir: dir, compactBytes: opts.CompactBytes, rec: opts.Recorder}
+
+	lock, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: opening state lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, nil, fmt.Errorf("registry: state dir %s is locked by another process: %w", dir, err)
+	}
+	s.lock = lock
+
+	r := New()
+	rep, err := s.replay(r)
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	r.store = s
+
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.Close()
+		return nil, nil, fmt.Errorf("registry: opening journal: %w", err)
+	}
+	s.journal = f
+	if st, err := f.Stat(); err == nil {
+		s.size = st.Size()
+	}
+
+	// A torn tail or corrupt record must not stay in the journal — the
+	// next append would land after garbage. Compact immediately; size
+	// triggers fold in too.
+	if rep.TornTail || len(rep.Quarantined) > 0 || s.size > s.compactBytes {
+		if err := s.compact(r); err != nil {
+			s.Close()
+			return nil, nil, fmt.Errorf("registry: compacting recovered journal: %w", err)
+		}
+		rep.Compacted = true
+	}
+	if s.rec.Enabled() {
+		s.rec.Counter("registry_recovered_models_total").Add(int64(len(rep.Models)))
+		s.rec.Counter("registry_quarantined_total").Add(int64(len(rep.Quarantined)))
+	}
+	return r, rep, nil
+}
+
+// replay reads the journal and installs the surviving state into r:
+// version counters for every name ever seen, and verified live models.
+func (s *Store) replay(r *Registry) (*Recovery, error) {
+	rep := &Recovery{}
+	raw, err := os.ReadFile(s.journalPath())
+	if os.IsNotExist(err) {
+		return rep, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading journal: %w", err)
+	}
+
+	type liveEntry struct {
+		rec *journalRecord
+	}
+	live := map[string]*liveEntry{}
+	lines := bytes.Split(raw, []byte("\n"))
+	// A well-formed journal ends with a newline, so the final split element
+	// is empty; anything else is a torn tail candidate.
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := decodeRecord(line)
+		if err != nil {
+			if i == len(lines)-1 {
+				// Crash mid-append: the record never finished. Drop it.
+				rep.TornTail = true
+			} else {
+				rep.Quarantined = append(rep.Quarantined, Quarantined{
+					Reason: fmt.Sprintf("journal record %d: %v", i, err),
+				})
+			}
+			continue
+		}
+		switch rec.Op {
+		case "versions":
+			for name, v := range rec.Versions {
+				if v > r.versions[name] {
+					r.versions[name] = v
+				}
+			}
+		case "load":
+			if rec.Name == "" || rec.Version <= 0 || rec.SHA256 == "" {
+				rep.Quarantined = append(rep.Quarantined, Quarantined{
+					Name: rec.Name, Version: rec.Version, SHA256: rec.SHA256,
+					Reason: fmt.Sprintf("journal record %d: incomplete load record", i),
+				})
+				continue
+			}
+			if rec.Version > r.versions[rec.Name] {
+				r.versions[rec.Name] = rec.Version
+			}
+			live[rec.Name] = &liveEntry{rec: rec}
+		case "remove":
+			if rec.Version > r.versions[rec.Name] {
+				r.versions[rec.Name] = rec.Version
+			}
+			delete(live, rec.Name)
+		default:
+			rep.Quarantined = append(rep.Quarantined, Quarantined{
+				Reason: fmt.Sprintf("journal record %d: unknown op %q", i, rec.Op),
+			})
+		}
+	}
+
+	// Verify and load each live artifact; quarantine failures instead of
+	// refusing to boot.
+	names := make([]string, 0, len(live))
+	for name := range live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	models := map[string]*Model{}
+	for _, name := range names {
+		rec := live[name].rec
+		m, err := s.loadArtifact(rec)
+		if err != nil {
+			s.quarantineArtifact(rec.SHA256)
+			rep.Quarantined = append(rep.Quarantined, Quarantined{
+				Name: rec.Name, Version: rec.Version, SHA256: rec.SHA256,
+				Reason: err.Error(),
+			})
+			continue
+		}
+		models[name] = m
+		rep.Models = append(rep.Models, m)
+	}
+	r.cur.Store(&snapshot{models: models})
+	return rep, nil
+}
+
+// loadArtifact reads, hash-verifies, and decodes one journaled artifact.
+func (s *Store) loadArtifact(rec *journalRecord) (*Model, error) {
+	path := s.artifactPath(rec.SHA256)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %v", rec.SHA256, err)
+	}
+	if got := sha256hex(raw); got != rec.SHA256 {
+		return nil, fmt.Errorf("artifact %s: content hashes to %s", rec.SHA256, got)
+	}
+	tree, err := mtree.ReadCompiled(faultinject.WrapReader("registry.artifact.read", bytes.NewReader(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %v", rec.SHA256, err)
+	}
+	return &Model{
+		Name:     rec.Name,
+		Version:  rec.Version,
+		Tree:     tree,
+		Source:   rec.Source,
+		SHA256:   rec.SHA256,
+		LoadedAt: time.Unix(0, rec.UnixNano),
+	}, nil
+}
+
+// quarantineArtifact moves a failed artifact out of the store (best
+// effort — a missing file has nothing to move).
+func (s *Store) quarantineArtifact(sha string) {
+	if sha == "" {
+		return
+	}
+	src := s.artifactPath(sha)
+	if _, err := os.Stat(src); err != nil {
+		return
+	}
+	os.Rename(src, filepath.Join(s.quarantineDir(), sha+".sct"))
+}
+
+// persistLoad makes one Load durable: stage the artifact (content
+// addressed, atomic), then append the journal record. Called with the
+// registry mutex held, before the in-memory publish; an error here aborts
+// the Load entirely.
+func (s *Store) persistLoad(m *Model, tree *mtree.CompiledTree) error {
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		return fmt.Errorf("registry: serializing %q: %w", m.Name, err)
+	}
+	sha := sha256hex(buf.Bytes())
+	if err := faultinject.Check("registry.artifact.write"); err != nil {
+		return fmt.Errorf("registry: staging artifact for %q: %w", m.Name, err)
+	}
+	path := s.artifactPath(sha)
+	if _, err := os.Stat(path); err != nil { // content-addressed: identical payloads share a file
+		if err := robust.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		syncDir(s.artifactsDir())
+	}
+	faultinject.CheckCrash("registry.artifact.write")
+	m.SHA256 = sha
+	return s.append(&journalRecord{
+		Op: "load", Name: m.Name, Version: m.Version, SHA256: sha,
+		Source: m.Source, UnixNano: m.LoadedAt.UnixNano(),
+	})
+}
+
+// persistRemove journals one Remove. Called with the registry mutex held,
+// before the in-memory publish.
+func (s *Store) persistRemove(name string, version int) error {
+	return s.append(&journalRecord{Op: "remove", Name: name, Version: version, UnixNano: time.Now().UnixNano()})
+}
+
+// append writes one record to the journal and fsyncs it: a Load or
+// Remove that returned is durable.
+func (s *Store) append(rec *journalRecord) error {
+	if err := faultinject.Check("registry.journal.append"); err != nil {
+		return fmt.Errorf("registry: journal append: %w", err)
+	}
+	line, err := rec.encode()
+	if err != nil {
+		return fmt.Errorf("registry: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.journal.Write(line); err != nil {
+		return fmt.Errorf("registry: appending journal record: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("registry: syncing journal: %w", err)
+	}
+	s.size += int64(len(line))
+	faultinject.CheckCrash("registry.journal.append")
+	return nil
+}
+
+// maybeCompact compacts once the journal passes the size threshold.
+// Called with the registry mutex held, after a publish. Compaction
+// failure is non-fatal: the oversized journal still replays correctly.
+func (s *Store) maybeCompact(r *Registry) {
+	if s.size <= s.compactBytes {
+		return
+	}
+	if err := s.compact(r); err != nil && s.rec.Enabled() {
+		s.rec.Counter("registry_compact_failures_total").Add(1)
+	}
+}
+
+// compact rewrites the journal to its minimal equivalent — a versions
+// record pinning every counter (so removed names keep their monotonic
+// sequence) plus one load record per live model — swaps it in atomically,
+// and garbage-collects unreferenced artifacts.
+func (s *Store) compact(r *Registry) error {
+	if err := faultinject.Check("registry.journal.compact"); err != nil {
+		return err
+	}
+	p, err := robust.CreateAtomic(s.journalPath())
+	if err != nil {
+		return err
+	}
+	defer p.Abort()
+	w := bufio.NewWriter(p)
+	var written int64
+	emit := func(rec *journalRecord) error {
+		line, err := rec.encode()
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		n, err := w.Write(line)
+		written += int64(n)
+		return err
+	}
+	versions := make(map[string]int, len(r.versions))
+	for name, v := range r.versions {
+		versions[name] = v
+	}
+	if err := emit(&journalRecord{Op: "versions", Versions: versions}); err != nil {
+		return err
+	}
+	models := r.List()
+	liveSHA := map[string]bool{}
+	for _, m := range models {
+		liveSHA[m.SHA256] = true
+		if err := emit(&journalRecord{
+			Op: "load", Name: m.Name, Version: m.Version, SHA256: m.SHA256,
+			Source: m.Source, UnixNano: m.LoadedAt.UnixNano(),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	faultinject.CheckCrash("registry.journal.compact")
+	if err := p.Commit(); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+
+	// The append handle now points at the unlinked pre-compaction file;
+	// reopen on the fresh journal.
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("registry: reopening compacted journal: %w", err)
+	}
+	s.journal = f
+	s.size = written
+
+	// GC artifacts no live record references. Quarantined files already
+	// moved out of artifacts/.
+	entries, err := os.ReadDir(s.artifactsDir())
+	if err == nil {
+		for _, e := range entries {
+			sha := strings.TrimSuffix(e.Name(), ".sct")
+			if sha != e.Name() && !liveSHA[sha] {
+				os.Remove(filepath.Join(s.artifactsDir(), e.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases the journal handle and the state-dir lock.
+func (s *Store) Close() {
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	if s.lock != nil {
+		syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+		s.lock.Close()
+		s.lock = nil
+	}
+}
+
+func sha256hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// syncDir fsyncs a directory so a preceding rename survives a crash on
+// filesystems that require it. Best effort: some filesystems refuse
+// directory fsync, and the rename itself is still atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,439 @@
+package registry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reopen closes r and opens the same state dir again, failing the test on
+// any error.
+func reopen(t *testing.T, r *Registry, dir string) (*Registry, *Recovery) {
+	t.Helper()
+	r.Close()
+	r2, rep, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return r2, rep
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, rep, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Models) != 0 || rep.TornTail {
+		t.Fatalf("fresh dir recovery not empty: %+v", rep)
+	}
+	treeA := trainedTree(t, 1)
+	treeB := trainedTree(t, 2)
+	if _, err := r.Load("cpu2006", treeA, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("cpu2006", treeB, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("omp2001", treeA, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, rep2 := reopen(t, r, dir)
+	defer r2.Close()
+	if len(rep2.Models) != 2 || len(rep2.Quarantined) != 0 {
+		t.Fatalf("recovery = %d models, %d quarantined, want 2, 0", len(rep2.Models), len(rep2.Quarantined))
+	}
+	m, ok := r2.Get("cpu2006")
+	if !ok || m.Version != 2 {
+		t.Fatalf("recovered cpu2006 version %d, want 2", m.Version)
+	}
+	// Byte-identical predictions across the persist/recover cycle.
+	x := []float64{0.25, 0.5, 0.75}
+	if got, want := m.Tree.Predict(x), treeB.Predict(x); got != want {
+		t.Errorf("recovered prediction %v, want %v", got, want)
+	}
+	if o, ok := r2.Get("omp2001"); !ok || o.Version != 1 {
+		t.Errorf("recovered omp2001 version %d, want 1", o.Version)
+	}
+}
+
+// Versions must continue — not reset — across remove and restart: the
+// monotonic sequence is the operator's only handle on artifact identity.
+func TestDurableVersionsContinueAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trainedTree(t, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Load("m", tree, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := r.Remove("m"); !ok || err != nil {
+		t.Fatalf("Remove = %v, %v", ok, err)
+	}
+
+	r2, rep := reopen(t, r, dir)
+	defer r2.Close()
+	if len(rep.Models) != 0 {
+		t.Fatalf("removed model resurrected: %+v", rep.Models)
+	}
+	m, err := r2.Load("m", tree, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 4 {
+		t.Errorf("version after remove+restart = %d, want 4 (continued)", m.Version)
+	}
+}
+
+// The zero-torn-journal guarantee: truncating the journal at every byte
+// offset of its tail record (a crash mid-append at every possible point)
+// must still recover — to the pre-append state — with no fatal error, and
+// the rewritten journal must be clean.
+func TestJournalTornTailSweepRecovers(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeA, treeB := trainedTree(t, 1), trainedTree(t, 2)
+	if _, err := r.Load("m", treeA, "test"); err != nil {
+		t.Fatal(err)
+	}
+	preLen := int(r.store.size)
+	if _, err := r.Load("m", treeB, "test"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	journal, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := os.ReadDir(filepath.Join(dir, "artifacts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := []float64{0.25, 0.5, 0.75}
+	predA, predB := treeA.Predict(x), treeB.Predict(x)
+	for cut := preLen; cut <= len(journal); cut++ {
+		work := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(work, "artifacts"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range arts {
+			raw, err := os.ReadFile(filepath.Join(dir, "artifacts", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(work, "artifacts", e.Name()), raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(work, journalName), journal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r2, rep, err := Open(work, OpenOptions{})
+		if err != nil {
+			t.Fatalf("cut %d/%d: recovery failed: %v", cut, len(journal), err)
+		}
+		m, ok := r2.Get("m")
+		if !ok {
+			t.Fatalf("cut %d: model lost entirely", cut)
+		}
+		// The crash-consistency contract: recovery lands on exactly the
+		// pre-append or the post-append state, never anything else. The
+		// post state is only reachable once the record's JSON is complete —
+		// every cut strictly inside the record must yield the pre state.
+		got := m.Tree.Predict(x)
+		switch {
+		case m.Version == 1 && got == predA: // pre-append state
+			if cut == len(journal) {
+				t.Fatalf("cut %d: untruncated journal lost the second load", cut)
+			}
+			if !rep.TornTail && cut > preLen {
+				t.Fatalf("cut %d: torn tail not reported", cut)
+			}
+		case m.Version == 2 && got == predB: // post-append state
+			if cut < len(journal)-1 {
+				t.Fatalf("cut %d: truncated record replayed as complete", cut)
+			}
+		default:
+			t.Fatalf("cut %d: recovered v%d pred %v — neither pre (v1 %v) nor post (v2 %v) state",
+				cut, m.Version, got, predA, predB)
+		}
+		// Versions never over-counted: a new load continues from what the
+		// journal proves, and never reuses a committed version.
+		m2, err := r2.Load("m", treeA, "test")
+		if err != nil {
+			t.Fatalf("cut %d: load after recovery: %v", cut, err)
+		}
+		if m2.Version != m.Version+1 {
+			t.Fatalf("cut %d: post-recovery version %d, want %d", cut, m2.Version, m.Version+1)
+		}
+		r2.Close()
+	}
+}
+
+// A corrupt artifact (bytes that no longer hash to the journal's SHA-256)
+// is quarantined with a warning, never fatal — and the version counter
+// survives quarantine.
+func TestCorruptArtifactQuarantinedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("good", trainedTree(t, 1), "test"); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := r.Load("bad", trainedTree(t, 2), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Flip one byte of the bad model's artifact.
+	path := filepath.Join(dir, "artifacts", bad.SHA256+".sct")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, rep, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("corrupt artifact made boot fatal: %v", err)
+	}
+	defer r2.Close()
+	if _, ok := r2.Get("good"); !ok {
+		t.Error("healthy model lost alongside the corrupt one")
+	}
+	if _, ok := r2.Get("bad"); ok {
+		t.Error("corrupt model served")
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Name != "bad" {
+		t.Errorf("quarantine report wrong: %+v", rep.Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", bad.SHA256+".sct")); err != nil {
+		t.Errorf("corrupt artifact not moved to quarantine/: %v", err)
+	}
+	// The quarantined name's version counter continued.
+	m, err := r2.Load("bad", trainedTree(t, 3), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Errorf("version after quarantine = %d, want 2", m.Version)
+	}
+}
+
+// A corrupt record in the middle of the journal (not a torn tail) is
+// skipped and reported; later records still apply.
+func TestCorruptMidJournalRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("a", trainedTree(t, 1), "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("b", trainedTree(t, 2), "test"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	path := filepath.Join(dir, journalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines[0] = []byte(strings.Replace(string(lines[0]), `"op":"load"`, `"op":"lo__"`, 1))
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, rep, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("mid-journal corruption fatal: %v", err)
+	}
+	defer r2.Close()
+	if _, ok := r2.Get("b"); !ok {
+		t.Error("record after the corrupt one was not applied")
+	}
+	if len(rep.Quarantined) == 0 {
+		t.Error("corrupt record not reported")
+	}
+	if !rep.Compacted {
+		t.Error("journal with corrupt record not compacted on boot")
+	}
+}
+
+// Compaction keeps exactly the live state and the version counters, and
+// garbage-collects unreferenced artifacts.
+func TestCompactionPreservesStateAndCollectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{CompactBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Model
+	for i := 0; i < 6; i++ {
+		last, err = r.Load("m", trainedTree(t, int64(i+1)), "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := r.Remove("gone"); ok || err != nil {
+		t.Fatalf("Remove of absent name = %v, %v", ok, err)
+	}
+	if last.Version != 6 {
+		t.Fatalf("version = %d, want 6", last.Version)
+	}
+	st, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 2048 {
+		t.Errorf("journal never compacted: %d bytes", st.Size())
+	}
+	// GC runs at each compaction: of the 6 distinct artifacts only the
+	// live one plus those staged since the last compaction may remain.
+	arts, err := os.ReadDir(filepath.Join(dir, "artifacts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	haveLive := false
+	for _, e := range arts {
+		names = append(names, e.Name())
+		if e.Name() == last.SHA256+".sct" {
+			haveLive = true
+		}
+	}
+	if !haveLive {
+		t.Errorf("live artifact %s.sct missing after compaction (have %v)", last.SHA256, names)
+	}
+	if len(arts) >= 6 {
+		t.Errorf("no artifact was ever garbage-collected: %v", names)
+	}
+
+	r2, rep := reopen(t, r, dir)
+	defer r2.Close()
+	if m, ok := r2.Get("m"); !ok || m.Version != 6 {
+		t.Fatalf("post-compaction recovery lost state: %+v (%d models)", m, len(rep.Models))
+	}
+}
+
+// Two processes must not interleave journals: the second Open of a live
+// state dir fails fast.
+func TestStateDirSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := Open(dir, OpenOptions{}); err == nil {
+		t.Fatal("second Open of a locked state dir succeeded")
+	}
+}
+
+// The monotonicity satellite: concurrent Load/Remove/Get must yield
+// unique, gap-free versions per name, with Get never observing a version
+// going backwards — in memory and, via the journal, across a restart.
+func TestVersionMonotonicityUnderConcurrentMutation(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, OpenOptions{CompactBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trainedTree(t, 1)
+
+	const loaders, loadsEach = 4, 12
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	readers.Add(1)
+	go func() { // reader: versions never decrease
+		defer readers.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if m, ok := r.Get("m"); ok {
+				if m.Version < last {
+					t.Errorf("Get observed version going backwards: %d after %d", m.Version, last)
+					return
+				}
+				last = m.Version
+			}
+		}
+	}()
+	writers.Add(1)
+	go func() { // remover: interleave removals with the load storm
+		defer writers.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := r.Remove("m"); err != nil {
+				t.Errorf("Remove: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < loaders; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < loadsEach; i++ {
+				m, err := r.Load("m", tree, "race")
+				if err != nil {
+					t.Errorf("Load: %v", err)
+					return
+				}
+				mu.Lock()
+				if seen[m.Version] {
+					t.Errorf("version %d issued twice", m.Version)
+				}
+				seen[m.Version] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	total := loaders * loadsEach
+	for v := 1; v <= total; v++ {
+		if !seen[v] {
+			t.Errorf("version %d never issued (gap in the sequence)", v)
+		}
+	}
+
+	// Across restart the sequence continues from the high-water mark.
+	r2, _ := reopen(t, r, dir)
+	defer r2.Close()
+	m, err := r2.Load("m", tree, "after-restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != total+1 {
+		t.Errorf("post-restart version = %d, want %d", m.Version, total+1)
+	}
+}

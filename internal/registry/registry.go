@@ -16,6 +16,13 @@
 // *Model is immutable once published; the registry never mutates a
 // compiled tree it was handed (CompiledTree is itself immutable — see
 // mtree.CompiledTree and WithWorkers).
+//
+// A registry made with New lives only in memory and dies with the
+// process. Open instead roots the registry in a state directory: every
+// Load stages the artifact and journals the mutation before publishing
+// it, and a restarted process replays the journal back to the same
+// models and *continued* version counters (see persist.go for the
+// durability design).
 package registry
 
 import (
@@ -37,6 +44,10 @@ type Model struct {
 	// Source records where the artifact came from (a file path, "inline",
 	// "trained") — operator-facing provenance for the list surface.
 	Source string
+	// SHA256 is the hex digest of the serialized artifact, set for models
+	// that went through (or came back from) a durable store; empty for
+	// purely in-memory loads.
+	SHA256 string
 	// LoadedAt is the publication time, for the list surface only.
 	LoadedAt time.Time
 }
@@ -58,6 +69,9 @@ type Registry struct {
 	// version sequence rather than restarting at 1, so an operator can
 	// always tell two artifacts apart by (name, version).
 	versions map[string]int
+	// store, when non-nil, makes every mutation durable before it is
+	// published (see Open). Accessed only under mu.
+	store *Store
 }
 
 // New returns an empty registry.
@@ -79,7 +93,9 @@ func (r *Registry) Get(name string) (*Model, bool) {
 // entry. An existing entry with the same name is hot-swapped: the
 // version increments and the published snapshot replaces the old one
 // atomically, so concurrent readers see either the old or the new model,
-// never an intermediate state.
+// never an intermediate state. On a durable registry the artifact and
+// journal record reach disk before the publish — a Load that returned
+// survives a crash, and a Load that failed changed nothing.
 func (r *Registry) Load(name string, tree *mtree.CompiledTree, source string) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("registry: empty model name")
@@ -97,20 +113,54 @@ func (r *Registry) Load(name string, tree *mtree.CompiledTree, source string) (*
 		Source:   source,
 		LoadedAt: time.Now(),
 	}
+	if r.store != nil {
+		if err := r.store.persistLoad(m, tree); err != nil {
+			// Nothing was published; roll the counter back so the failed
+			// attempt does not burn a version number.
+			r.versions[name]--
+			return nil, err
+		}
+	}
 	r.publish(func(models map[string]*Model) { models[name] = m })
+	if r.store != nil {
+		r.store.maybeCompact(r)
+	}
 	return m, nil
 }
 
-// Remove unpublishes a name. Requests already holding the model keep it;
-// the name's version counter survives for a future re-load.
-func (r *Registry) Remove(name string) bool {
+// Remove unpublishes a name, reporting whether it was present. Requests
+// already holding the model keep it; the name's version counter survives
+// for a future re-load (and, on a durable registry, across restarts).
+// The error is always nil on an in-memory registry; on a durable one a
+// journal failure aborts the removal.
+func (r *Registry) Remove(name string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.cur.Load().models[name]; !ok {
-		return false
+		return false, nil
+	}
+	if r.store != nil {
+		if err := r.store.persistRemove(name, r.versions[name]); err != nil {
+			return false, err
+		}
 	}
 	r.publish(func(models map[string]*Model) { delete(models, name) })
-	return true
+	if r.store != nil {
+		r.store.maybeCompact(r)
+	}
+	return true, nil
+}
+
+// Close releases the durable store's journal handle and state-dir lock.
+// A no-op on an in-memory registry. The registry must not be used after
+// Close.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store != nil {
+		r.store.Close()
+		r.store = nil
+	}
 }
 
 // publish clones the current snapshot, applies mut, and atomically

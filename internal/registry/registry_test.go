@@ -71,8 +71,11 @@ func TestRegistryVersioning(t *testing.T) {
 		t.Error("test trees indistinguishable; fixture broken")
 	}
 
-	if !r.Remove("cpu2006") || r.Remove("cpu2006") {
-		t.Error("Remove semantics wrong")
+	if ok, err := r.Remove("cpu2006"); !ok || err != nil {
+		t.Errorf("Remove = %v, %v, want true, nil", ok, err)
+	}
+	if ok, err := r.Remove("cpu2006"); ok || err != nil {
+		t.Errorf("second Remove = %v, %v, want false, nil", ok, err)
 	}
 	if _, ok := r.Get("cpu2006"); ok {
 		t.Error("removed model still resolves")

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"specchar/internal/dataset"
+	"specchar/internal/faultinject"
 	"specchar/internal/obs"
+	"specchar/internal/robust"
 )
 
 // ErrOverloaded rejects a request whose model already has MaxPending
@@ -25,13 +27,15 @@ var ErrDraining = errors.New("serve: server draining")
 var ErrModelGone = errors.New("serve: model removed while queued")
 
 // scoreJob is one admitted request waiting to be batched: the rows to
-// score, and the slots the dispatcher fills before closing done.
+// score, the request's deadline (zero if none), and the slots the
+// dispatcher fills before closing done.
 type scoreJob struct {
-	rows    [][]float64
-	out     []float64
-	version int
-	err     error
-	done    chan struct{}
+	rows     [][]float64
+	deadline time.Time
+	out      []float64
+	version  int
+	err      error
+	done     chan struct{}
 }
 
 // batcher owns one model's bounded queue and dispatcher goroutine.
@@ -86,6 +90,13 @@ func (b *batcher) submit(ctx context.Context, rows [][]float64) ([]float64, int,
 	if n == 0 {
 		return nil, 0, nil
 	}
+	// Work that is already dead on arrival never enters the queue.
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			b.s.count("specchard_deadline_rejected_total")
+		}
+		return nil, 0, err
+	}
 	b.drainMu.RLock()
 	if b.draining {
 		b.drainMu.RUnlock()
@@ -99,6 +110,9 @@ func (b *batcher) submit(ctx context.Context, rows [][]float64) ([]float64, int,
 			ErrOverloaded, b.model, b.pending.Load(), b.s.cfg.MaxPending)
 	}
 	job := &scoreJob{rows: rows, done: make(chan struct{})}
+	if dl, ok := ctx.Deadline(); ok {
+		job.deadline = dl
+	}
 	// Never blocks: admitted samples are capped at MaxPending, every job
 	// carries at least one sample, and the channel holds MaxPending slots.
 	b.jobs <- job
@@ -147,22 +161,38 @@ func (b *batcher) run() {
 }
 
 // gather collects queued jobs behind first until the batch holds
-// MaxBatch samples or BatchWait elapses. A single over-wide job (a
-// request carrying more than MaxBatch samples) still scores as one
-// batch.
+// MaxBatch samples or the linger window closes. The window is BatchWait
+// bounded by the earliest deadline in the batch — a batch holding a
+// nearly-expired request flushes early instead of lingering it to
+// death. A single over-wide job (a request carrying more than MaxBatch
+// samples) still scores as one batch.
 func (b *batcher) gather(first *scoreJob) []*scoreJob {
 	batch := []*scoreJob{first}
 	total := len(first.rows)
 	if total >= b.s.cfg.MaxBatch {
 		return batch
 	}
-	linger := time.NewTimer(b.s.cfg.BatchWait)
+	wake := time.Now().Add(b.s.cfg.BatchWait)
+	if !first.deadline.IsZero() && first.deadline.Before(wake) {
+		wake = first.deadline
+	}
+	linger := time.NewTimer(time.Until(wake))
 	defer linger.Stop()
 	for total < b.s.cfg.MaxBatch {
 		select {
 		case j := <-b.jobs:
 			batch = append(batch, j)
 			total += len(j.rows)
+			if !j.deadline.IsZero() && j.deadline.Before(wake) {
+				wake = j.deadline
+				if !linger.Stop() {
+					select {
+					case <-linger.C:
+					default:
+					}
+				}
+				linger.Reset(time.Until(wake))
+			}
 		case <-linger.C:
 			return batch
 		case <-b.quit:
@@ -172,9 +202,12 @@ func (b *batcher) gather(first *scoreJob) []*scoreJob {
 	return batch
 }
 
-// flush scores one batch: resolve the model now (hot-swap point), pack
-// every job's rows into one dataset, one PredictDataset call, scatter
-// the outputs back, release the admission budget.
+// flush completes one batch: shed jobs that expired while queued, score
+// the rest, release the admission budget. Every job's done channel
+// closes exactly once no matter what scoring does — a panic inside the
+// tree is contained to this batch (the jobs fail with the inspectable
+// PanicError, the dispatcher lives on) instead of taking the daemon
+// down with queued work still waiting.
 func (b *batcher) flush(batch []*scoreJob) {
 	total := 0
 	for _, j := range batch {
@@ -187,21 +220,61 @@ func (b *batcher) flush(batch []*scoreJob) {
 		}
 	}()
 
+	// Shed expired work before spending scoring time on it: the waiting
+	// handler already gave up, and scoring it anyway would only delay the
+	// live jobs behind it.
+	now := time.Now()
+	live := make([]*scoreJob, 0, len(batch))
+	for _, j := range batch {
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			j.err = fmt.Errorf("deadline expired %v before scoring: %w", now.Sub(j.deadline), context.DeadlineExceeded)
+			b.s.count("specchard_deadline_rejected_total")
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	if err := robust.Safely(func() error {
+		faultinject.Sleep("serve.batch.flush")
+		faultinject.CheckPanic("serve.batch.flush")
+		b.score(live)
+		return nil
+	}); err != nil {
+		b.s.count("specchard_batch_panics_total")
+		for _, j := range live {
+			if j.err == nil && j.out == nil {
+				j.err = err
+			}
+		}
+	}
+}
+
+// score resolves the model now (the hot-swap point), packs every live
+// job's rows into one dataset, runs one PredictDataset call, and
+// scatters the outputs back.
+func (b *batcher) score(live []*scoreJob) {
+	total := 0
+	for _, j := range live {
+		total += len(j.rows)
+	}
 	m, ok := b.s.reg.Get(b.model)
 	if !ok {
-		for _, j := range batch {
+		for _, j := range live {
 			j.err = fmt.Errorf("%w: %q", ErrModelGone, b.model)
 		}
 		return
 	}
 
 	ctx, span := b.s.rec.StartSpan(b.s.baseCtx, "serve.batch",
-		obs.A("model", b.model), obs.A("jobs", len(batch)))
+		obs.A("model", b.model), obs.A("jobs", len(live)))
 	span.SetRows(total)
 	defer span.End()
 
 	ds := &dataset.Dataset{Schema: m.Tree.Schema(), Samples: make([]dataset.Sample, 0, total)}
-	for _, j := range batch {
+	for _, j := range live {
 		for _, row := range j.rows {
 			ds.Samples = append(ds.Samples, dataset.Sample{X: row})
 		}
@@ -211,13 +284,13 @@ func (b *batcher) flush(batch []*scoreJob) {
 		// Width mismatches here mean the model was swapped to an
 		// incompatible schema after the handler validated; each job gets
 		// the inspectable error.
-		for _, j := range batch {
+		for _, j := range live {
 			j.err = err
 		}
 		return
 	}
 	off := 0
-	for _, j := range batch {
+	for _, j := range live {
 		j.out = preds[off : off+len(j.rows) : off+len(j.rows)]
 		j.version = m.Version
 		off += len(j.rows)

@@ -1,0 +1,64 @@
+//go:build faultinject
+
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"specchar/internal/faultinject"
+	"specchar/internal/obs"
+)
+
+// A panic inside batch scoring is contained to the batch: the waiting
+// requests answer 500, the panic is counted, and the daemon keeps
+// serving — the very next request through the same batcher scores
+// normally (DESIGN.md section 13).
+func TestFlushPanicAnswers500AndDaemonSurvives(t *testing.T) {
+	defer faultinject.Deactivate()
+	rec := obs.New()
+	f := newFixture(t, Config{Recorder: rec})
+	rows := rowsOf(f.data, 0, 1)
+
+	faultinject.Activate(1, faultinject.Fault{Site: "serve.batch.flush", OnCall: 1, Panic: "scorer blew up"})
+	status, _, msg := f.score(t, "cpu2006", rows)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicked batch got status %d (%q), want 500", status, msg)
+	}
+
+	// The batcher goroutine survived the panic: same model, same path.
+	status, sr, msg := f.score(t, "cpu2006", rows)
+	if status != http.StatusOK {
+		t.Fatalf("request after contained panic got status %d (%q), want 200", status, msg)
+	}
+	if want := f.tree.Predict(rows[0]); sr.Predictions[0] != want {
+		t.Errorf("post-panic prediction %v, want %v", sr.Predictions[0], want)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("specchard_batch_panics_total 1")) {
+		t.Errorf("panic not counted:\n%s", buf.String())
+	}
+}
+
+// An injected flush delay holds the response but nothing breaks: the
+// request completes once the slow batch drains. This pins the site the
+// chaos harness leans on for external-kill timing windows.
+func TestFlushDelayCompletesLate(t *testing.T) {
+	defer faultinject.Deactivate()
+	f := newFixture(t, Config{})
+	rows := rowsOf(f.data, 0, 1)
+
+	faultinject.Activate(1, faultinject.Fault{Site: "serve.batch.flush", OnCall: 1, DelayMilli: 50})
+	status, sr, msg := f.score(t, "cpu2006", rows)
+	if status != http.StatusOK {
+		t.Fatalf("delayed batch got status %d (%q), want 200", status, msg)
+	}
+	if want := f.tree.Predict(rows[0]); sr.Predictions[0] != want {
+		t.Errorf("delayed prediction %v, want %v", sr.Predictions[0], want)
+	}
+}

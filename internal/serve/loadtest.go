@@ -1,16 +1,17 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"specchar/internal/client"
 )
 
 // LoadConfig parameterizes one load-test phase against a running scoring
@@ -48,12 +49,14 @@ type LoadResult struct {
 	MaxLatencyMs     float64 `json:"max_latency_ms"`
 }
 
-// RunLoad drives one load phase and aggregates the results. A request
-// counts as failed when the daemon answers anything but 200 or the
-// transport errors; the first failure body is carried in the returned
-// error alongside the result for diagnosis, but failures do not abort
-// the phase (saturation behaviour — 429s under overload — is exactly
-// what the harness measures).
+// RunLoad drives one load phase and aggregates the results. It goes
+// through the typed client with every resilience layer disabled —
+// retries, budget, and breaker would silently reshape the measured
+// distribution, and saturation behaviour (429s under overload) is
+// exactly what the harness measures. A request counts as failed when
+// the daemon answers anything but 200 or the transport errors; the
+// first failure is carried in the returned error alongside the result
+// for diagnosis, but failures do not abort the phase.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	if cfg.Batch <= 0 || cfg.Concurrency <= 0 || len(cfg.Samples) == 0 {
 		return nil, fmt.Errorf("serve: load config needs batch, concurrency and samples")
@@ -72,12 +75,21 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		}
 		bodies[i] = b
 	}
-	client := &http.Client{Transport: &http.Transport{
+	hc := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        cfg.Concurrency * 2,
 		MaxIdleConnsPerHost: cfg.Concurrency * 2,
 	}}
-	defer client.CloseIdleConnections()
-	url := cfg.URL + "/v1/score"
+	defer hc.CloseIdleConnections()
+	cl, err := client.New(client.Config{
+		BaseURL:       cfg.URL,
+		HTTPClient:    hc,
+		MaxRetries:    -1,
+		RetryBudget:   -1,
+		BreakerWindow: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	phaseCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -98,15 +110,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 			for i := 0; phaseCtx.Err() == nil; i++ {
 				body := bodies[(c+i)%len(bodies)]
 				t0 := time.Now()
-				req, err := http.NewRequestWithContext(phaseCtx, http.MethodPost, url, bytes.NewReader(body))
-				if err != nil {
-					break
-				}
-				req.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(req)
-				if err != nil {
-					if phaseCtx.Err() != nil {
-						break // the deadline canceled this request, not a fault
+				if _, err := cl.ScoreBytes(phaseCtx, body); err != nil {
+					if phaseCtx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+						break // the phase deadline canceled this request, not a fault
 					}
 					failed.Add(1)
 					requests.Add(1)
@@ -114,15 +120,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					firstFailure.CompareAndSwap(nil, &msg)
 					continue
 				}
-				rb, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
 				requests.Add(1)
-				if resp.StatusCode != http.StatusOK {
-					failed.Add(1)
-					msg := fmt.Sprintf("status %d: %s", resp.StatusCode, rb)
-					firstFailure.CompareAndSwap(nil, &msg)
-					continue
-				}
 				samples.Add(int64(cfg.Batch))
 				local = append(local, time.Since(t0))
 			}

@@ -14,6 +14,14 @@
 // per-call overhead across requests exactly like the offline pipeline
 // amortizes it across rows.
 //
+// Requests carry deadlines: an explicit one via the client package's
+// X-Deadline-Ms header, or the server-imposed Config.DefaultTimeout.
+// The deadline travels with the queued job — the batcher flushes early
+// rather than linger a nearly-expired batch, and sheds work that
+// expired while queued before spending scoring time on it (408). A
+// client that disconnects instead gets its result dropped: there is no
+// one left to answer, so the handler logs and moves on.
+//
 // Models are resolved at flush time, not submit time, so a hot-swap
 // through the registry (PUT /v1/models/{name}) takes effect on the next
 // batch with zero failed requests: in-flight batches keep the tree they
@@ -33,9 +41,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"specchar/internal/client"
 	"specchar/internal/mtree"
 	"specchar/internal/obs"
 	"specchar/internal/registry"
@@ -72,6 +82,14 @@ type Config struct {
 
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
+
+	// DefaultTimeout bounds scoring requests that carry no explicit
+	// deadline header. Zero means no server-imposed deadline.
+	DefaultTimeout time.Duration
+
+	// RetryAfter is the backoff hint stamped on 429/503 responses
+	// (default 1s). Resilient clients honor it over their own jitter.
+	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
 	}
 	return c
 }
@@ -237,18 +258,44 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	b, err := s.batcherFor(req.Model)
+	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
-		s.failErr(w, err)
+		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, version, err := b.submit(r.Context(), req.Samples)
+	defer cancel()
+	b, err := s.batcherFor(req.Model)
 	if err != nil {
-		s.failErr(w, err)
+		s.failErr(w, r, err)
+		return
+	}
+	out, version, err := b.submit(ctx, req.Samples)
+	if err != nil {
+		s.failErr(w, r, err)
 		return
 	}
 	s.rec.Counter("specchard_samples_scored_total").Add(int64(len(req.Samples)))
 	s.writeJSON(w, http.StatusOK, scoreResponse{Model: req.Model, Version: version, Predictions: out})
+}
+
+// requestContext derives the scoring context: an explicit client
+// deadline from the X-Deadline-Ms header wins, otherwise the
+// server-side default (if any) applies. The error is a client mistake
+// (malformed header).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	if h := r.Header.Get(client.DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid %s header %q: want positive integer milliseconds", client.DeadlineHeader, h)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		return ctx, cancel, nil
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
 }
 
 // modelInfo is one entry of the admin list surface.
@@ -260,6 +307,9 @@ type modelInfo struct {
 	Nodes    int    `json:"nodes"`
 	Smoothed bool   `json:"smoothed"`
 	Source   string `json:"source"`
+	// SHA256 is the artifact digest for models backed by a durable state
+	// dir; empty for in-memory loads.
+	SHA256   string `json:"sha256,omitempty"`
 	LoadedAt string `json:"loaded_at"`
 }
 
@@ -272,6 +322,7 @@ func infoOf(m *registry.Model) modelInfo {
 		Nodes:    m.Tree.NumNodes(),
 		Smoothed: m.Tree.Smoothed(),
 		Source:   m.Source,
+		SHA256:   m.SHA256,
 		LoadedAt: m.LoadedAt.UTC().Format(time.RFC3339Nano),
 	}
 }
@@ -324,7 +375,12 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	s.count("specchard_requests_total")
 	name := r.PathValue("name")
-	if !s.reg.Remove(name) {
+	ok, err := s.reg.Remove(name)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("removing %q: %v", name, err))
+		return
+	}
+	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", name))
 		return
 	}
@@ -365,23 +421,46 @@ func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
 	s.writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// failErr maps submission errors to statuses: admission rejection is 429
-// (back off and retry), draining is 503, a model unloaded or swapped
-// incompatibly mid-flight is 409, a canceled client context is 499-style
-// (client went away; 408 is the closest standard code).
-func (s *Server) failErr(w http.ResponseWriter, err error) {
+// failErr maps submission errors to statuses: admission rejection is
+// 429 and draining is 503 — both stamped with a Retry-After hint — a
+// model unloaded or swapped incompatibly mid-flight is 409, and a
+// missed deadline is 408. A canceled request context means the client
+// disconnected: nobody is listening, so writing a status would only
+// mislabel the outcome in logs — count it and drop the response
+// instead. (Cancellation with the client still connected can only come
+// from server-side plumbing; that is a 503, retry-worthy.)
+func (s *Server) failErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		s.retryAfter(w)
 		s.fail(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
+		s.retryAfter(w)
 		s.fail(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrModelGone):
 		s.fail(w, http.StatusConflict, err.Error())
 	case errors.Is(err, mtree.ErrSampleWidth):
 		s.fail(w, http.StatusConflict, fmt.Sprintf("model swapped to an incompatible schema mid-request: %v", err))
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
 		s.fail(w, http.StatusRequestTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		if r.Context().Err() != nil {
+			s.count("specchard_client_gone_total")
+			return
+		}
+		s.retryAfter(w)
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		s.fail(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// retryAfter stamps the configured backoff hint, rounded up to whole
+// seconds as the header requires.
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter+time.Second-1) / int(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }

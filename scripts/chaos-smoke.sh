@@ -1,0 +1,96 @@
+#!/bin/sh
+# Chaos smoke test of the durable serving stack, run by CI. Builds the
+# daemon with -tags faultinject so the in-process fault sites are live,
+# then walks three failure scenarios against one persistent state dir
+# (DESIGN.md section 13):
+#
+#   1. injected journal-append error  -> PUT fails 5xx, daemon stays up,
+#      the previous model version keeps serving untouched
+#   2. in-process SIGKILL mid-swap    -> restart recovers the pre-swap
+#      state and the next swap lands cleanly
+#   3. on-disk artifact corruption    -> boot quarantines the damaged
+#      version with a warning instead of serving or crashing
+#
+# Usage: scripts/chaos-smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+port="${PORT:-18633}"
+base="http://127.0.0.1:$port"
+work="$(mktemp -d)"
+state="$work/state"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+ctl() { "$work/specctl" -addr "$base" -retries -1 "$@"; }
+
+# start_daemon [fault-spec]: boot against the shared state dir, with the
+# fault plan armed via SPECCHAR_FAULTS, and wait until it answers.
+start_daemon() {
+    SPECCHAR_FAULTS="${1:-}" "$work/specchard" -addr "127.0.0.1:$port" \
+        -state-dir "$state" >> "$work/daemon.log" 2>&1 &
+    daemon_pid=$!
+    ctl health -wait 5s > /dev/null \
+        || { echo "daemon never became healthy" >&2; cat "$work/daemon.log" >&2; exit 1; }
+}
+
+# stop_daemon: graceful SIGTERM shutdown; tolerate already-dead.
+stop_daemon() {
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+}
+
+version_of() { ctl model "$1" | sed -n 's/.*"version": \([0-9]*\).*/\1/p'; }
+
+echo "== build (faultinject tag)" >&2
+go build -tags faultinject -o "$work/" ./cmd/specchar ./cmd/specchard ./cmd/specctl
+
+echo "== compile artifact, seed v1" >&2
+"$work/specchar" compile -suite cpu2006 -quick -o "$work/model.sct"
+start_daemon
+ctl put m "$work/model.sct" | grep -q '"version": 1'
+stop_daemon
+
+echo "== scenario 1: journal-append error degrades, daemon survives" >&2
+start_daemon "registry.journal.append=err:disk full"
+if ctl put m "$work/model.sct" > /dev/null 2>&1; then
+    echo "PUT succeeded under an injected journal failure" >&2; exit 1
+fi
+ctl health > /dev/null || { echo "daemon died on a journal write error" >&2; exit 1; }
+[ "$(version_of m)" = "1" ] || { echo "failed swap moved the version" >&2; exit 1; }
+stop_daemon
+
+echo "== scenario 2: SIGKILL mid-swap, restart recovers" >&2
+start_daemon "registry.artifact.write=kill@1"
+if ctl put m "$work/model.sct" > /dev/null 2>&1; then
+    echo "PUT was acknowledged by a daemon killed mid-write" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null || true   # the fault SIGKILLs the daemon itself
+daemon_pid=""
+start_daemon
+[ "$(version_of m)" = "1" ] || { echo "mid-write kill leaked state: v$(version_of m)" >&2; exit 1; }
+ctl put m "$work/model.sct" | grep -q '"version": 2'
+stop_daemon
+
+echo "== scenario 3: on-disk corruption quarantines at boot" >&2
+for art in "$state"/artifacts/*.sct; do
+    printf 'CORRUPTED' | dd of="$art" bs=1 conv=notrunc 2>/dev/null
+done
+start_daemon
+grep -q 'WARNING: quarantined m v' "$work/daemon.log" \
+    || { echo "no quarantine warning logged" >&2; cat "$work/daemon.log" >&2; exit 1; }
+if ctl model m > /dev/null 2>&1; then
+    echo "corrupt model is still being served" >&2; exit 1
+fi
+# Service restores by re-loading; versions never reuse the quarantined one.
+ctl put m "$work/model.sct" > /dev/null
+v="$(version_of m)"
+[ "$v" -gt 2 ] || { echo "version regressed to v$v after quarantine" >&2; exit 1; }
+stop_daemon
+
+echo "chaos smoke OK" >&2

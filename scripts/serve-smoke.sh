@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke test of the scoring daemon, run by CI: build the CLIs,
-# compile a quick cpu2006 artifact, start specchard, score one real
-# generated sample over HTTP, hot-swap the model via PUT, scrape
+# compile a quick cpu2006 artifact, start specchard, then drive it with
+# specctl (which exercises internal/client end to end): wait for health,
+# score one real generated sample, hot-swap the model via put, scrape
 # /metrics, and verify a SIGTERM shutdown drains and exits 0.
 #
 # Usage: scripts/serve-smoke.sh
@@ -19,7 +20,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== build" >&2
-go build -o "$work/" ./cmd/specchar ./cmd/specchard
+go build -o "$work/" ./cmd/specchar ./cmd/specchard ./cmd/specctl
 
 echo "== compile artifact" >&2
 "$work/specchar" compile -suite cpu2006 -quick -o "$work/model.sct"
@@ -29,32 +30,25 @@ echo "== start daemon" >&2
     > "$work/daemon.log" 2>&1 &
 daemon_pid=$!
 
-# Poll /healthz until the daemon answers (or give up after ~5s).
-i=0
-until curl -fsS "$base/healthz" > /dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -le 50 ] || { echo "daemon never became healthy" >&2; cat "$work/daemon.log" >&2; exit 1; }
-    sleep 0.1
-done
-curl -fsS "$base/healthz"; echo
+echo "== wait for health" >&2
+"$work/specctl" -addr "$base" health -wait 5s \
+    || { echo "daemon never became healthy" >&2; cat "$work/daemon.log" >&2; exit 1; }
 
 echo "== list models" >&2
-curl -fsS "$base/v1/models" | grep -q '"name":"cpu2006"'
+"$work/specctl" -addr "$base" models | grep -q '"name": "cpu2006"'
+"$work/specctl" -addr "$base" model cpu2006 | grep -q '"version": 1'
 
 echo "== score one generated sample" >&2
 # Row 1 of the quick dataset, dropping the benchmark label (field 1) and
 # the response (last field) — exactly the predictor vector the API takes.
 row="$("$work/specchar" datagen -suite cpu2006 -quick 2>/dev/null |
     awk -F, 'NR==2 {out=$2; for (i=3; i<NF; i++) out=out","$i; print out}')"
-resp="$(curl -fsS -X POST "$base/v1/score" \
-    -H 'Content-Type: application/json' \
-    -d "{\"model\":\"cpu2006\",\"samples\":[[$row]]}")"
+resp="$(printf '[[%s]]' "$row" | "$work/specctl" -addr "$base" score cpu2006)"
 echo "$resp"
-echo "$resp" | grep -q '"predictions":\[' || { echo "no predictions in response" >&2; exit 1; }
+echo "$resp" | grep -q '"predictions"' || { echo "no predictions in response" >&2; exit 1; }
 
-echo "== hot-swap via PUT" >&2
-curl -fsS -X PUT "$base/v1/models/cpu2006" --data-binary "@$work/model.sct" |
-    grep -q '"version":2'
+echo "== hot-swap via put" >&2
+"$work/specctl" -addr "$base" put cpu2006 "$work/model.sct" | grep -q '"version": 2'
 
 echo "== scrape /metrics" >&2
 metrics="$(curl -fsS "$base/metrics")"
