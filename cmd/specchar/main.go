@@ -7,13 +7,14 @@
 //	specchar [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <command> [flags]
 //
 //	specchar events
-//	specchar datagen      -suite cpu2006|omp2001 [-o file] [-format csv|arff] [-quick] [-seed N]
-//	specchar tree         -suite cpu2006|omp2001 [-quick] [-minleaf N] [-eval F] [-workers N]
-//	specchar characterize -suite cpu2006|omp2001 [-quick]
-//	specchar compile      -suite cpu2006|omp2001 -o model.sct [-quick]
+//	specchar datagen      -suite <suite> [-o file] [-format csv|arff] [-quick] [-seed N]
+//	specchar tree         -suite <suite> [-quick] [-minleaf N] [-eval F] [-workers N]
+//	specchar characterize -suite <suite> [-quick]
+//	specchar compile      -suite <suite> -o model.sct [-quick]
 //	specchar convert      -i data.csv -o data.spcol
 //	specchar score        -model model.sct -data data.spcol [-o preds] [-check ref]
 //	specchar transfer     [-quick]
+//	specchar matrix       [-suites cpu2000,cpu2006,cpu2017,cpu2026] [-o dir] [-quick] [-seed N]
 //
 // For the full per-table/per-figure reproduction, see cmd/experiments.
 package main
@@ -115,6 +116,8 @@ func main() {
 		err = runCharacterize(ctx, args)
 	case "transfer":
 		err = runTransfer(ctx, args)
+	case "matrix":
+		err = runMatrix(ctx, args)
 	case "subset":
 		err = runSubset(ctx, args)
 	case "compare":
@@ -162,6 +165,7 @@ commands:
   tree          generate a suite dataset and print its M5' model tree
   characterize  print the per-benchmark linear-model distribution and similarity
   transfer      run the four transferability assessments of Section VI
+  matrix        N×N cross-generation transfer matrix over the suite zoo
   subset        select a representative benchmark subset (PCA + clustering)
   compare       compare M5' against linear/kNN/MLP baselines (paper ref [15])
   bench         per-benchmark characterization report (CPI, classes, events, neighbours)
@@ -188,15 +192,22 @@ func describeStudy(cfg specchar.Config, study *specchar.Study) {
 	study.Describe(obsRun.Manifest)
 }
 
-// suiteByName resolves a -suite flag value.
+// suiteByName resolves a -suite flag value across the whole zoo: the
+// four CPU generations plus OMP2001 (see internal/suites doc.go).
 func suiteByName(name string) (*suites.Suite, error) {
 	switch name {
+	case "cpu2000":
+		return suites.CPU2000(), nil
 	case "cpu2006":
 		return suites.CPU2006(), nil
+	case "cpu2017":
+		return suites.CPU2017(), nil
+	case "cpu2026":
+		return suites.CPU2026(), nil
 	case "omp2001":
 		return suites.OMP2001(), nil
 	}
-	return nil, fmt.Errorf("unknown suite %q (want cpu2006 or omp2001)", name)
+	return nil, fmt.Errorf("unknown suite %q (want cpu2000, cpu2006, cpu2017, cpu2026 or omp2001)", name)
 }
 
 func genOptions(quick bool, seed uint64) suites.GenOptions {
@@ -214,7 +225,7 @@ func genOptions(quick bool, seed uint64) suites.GenOptions {
 
 func runDatagen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
-	suiteFlag := fs.String("suite", "cpu2006", "suite to generate (cpu2006|omp2001)")
+	suiteFlag := fs.String("suite", "cpu2006", "suite to generate (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
 	outFlag := fs.String("o", "", "output file (default stdout)")
 	formatFlag := fs.String("format", "csv", "output format (csv|arff)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
@@ -275,7 +286,7 @@ func runDatagen(ctx context.Context, args []string) error {
 
 func runTree(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ExitOnError)
-	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2006|omp2001)")
+	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
 	minLeaf := fs.Int("minleaf", 35, "minimum samples per leaf branch")
 	seedFlag := fs.Uint64("seed", 0, "generation seed override")
@@ -337,7 +348,7 @@ func runTree(ctx context.Context, args []string) error {
 // binary artifact specchard serves (see internal/mtree/artifact.go).
 func runCompile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
-	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2006|omp2001)")
+	suiteFlag := fs.String("suite", "cpu2006", "suite to model (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
 	outFlag := fs.String("o", "", "output artifact file (required)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
 	minLeaf := fs.Int("minleaf", 35, "minimum samples per leaf branch")
@@ -393,7 +404,7 @@ func runCompile(ctx context.Context, args []string) error {
 
 func runCharacterize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
-	suiteFlag := fs.String("suite", "cpu2006", "suite to characterize (cpu2006|omp2001)")
+	suiteFlag := fs.String("suite", "cpu2006", "suite to characterize (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
 	pairs := fs.Int("pairs", 5, "closest/farthest pairs to list")
 	fs.Parse(args)
@@ -470,7 +481,7 @@ func runTransfer(ctx context.Context, args []string) error {
 
 func runSubset(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("subset", flag.ExitOnError)
-	suiteFlag := fs.String("suite", "cpu2006", "suite to subset (cpu2006|omp2001)")
+	suiteFlag := fs.String("suite", "cpu2006", "suite to subset (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
 	kFlag := fs.Int("k", 0, "number of representatives (0 = silhouette-selected)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale run")
 	fs.Parse(args)
@@ -516,7 +527,7 @@ func runCompare(ctx context.Context, args []string) error {
 
 func runBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	suiteFlag := fs.String("suite", "cpu2006", "suite (cpu2006|omp2001)")
+	suiteFlag := fs.String("suite", "cpu2006", "suite (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
 	nameFlag := fs.String("name", "", "benchmark name, e.g. 429.mcf (empty = all)")
 	quickFlag := fs.Bool("quick", false, "reduced-scale run")
 	fs.Parse(args)

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"specchar/internal/mtree"
+	"specchar/internal/robust"
+	"specchar/internal/suites"
+	"specchar/internal/transfer"
+)
+
+// matrixArtifacts are the three rendered forms `specchar matrix -o DIR`
+// publishes; CI's freshness gate regenerates and byte-compares them
+// (scripts/check-results-freshness.sh).
+var matrixArtifacts = []struct {
+	name   string
+	render func(*transfer.TransferMatrix, io.Writer) error
+}{
+	{"transfer_matrix.json", func(m *transfer.TransferMatrix, w io.Writer) error { return m.WriteJSON(w) }},
+	{"transfer_matrix.md", func(m *transfer.TransferMatrix, w io.Writer) error {
+		_, err := io.WriteString(w, m.RenderMarkdown())
+		return err
+	}},
+	{"transfer_matrix.svg", func(m *transfer.TransferMatrix, w io.Writer) error {
+		_, err := io.WriteString(w, m.RenderSVG())
+		return err
+	}},
+}
+
+// runMatrix generates the suite zoo, runs the N×N transfer experiment,
+// prints the acceptance grid, and optionally writes the rendered
+// artifacts (JSON, markdown, SVG) under a directory via atomic staged
+// writes.
+func runMatrix(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	suitesFlag := fs.String("suites", "cpu2000,cpu2006,cpu2017,cpu2026",
+		"comma-separated suites spanning the matrix (cpu2000|cpu2006|cpu2017|cpu2026|omp2001)")
+	outFlag := fs.String("o", "", "directory for rendered artifacts (transfer_matrix.{json,md,svg}); empty = stdout only")
+	quickFlag := fs.Bool("quick", false, "reduced-scale generation")
+	seedFlag := fs.Uint64("seed", 0, "generation seed override")
+	fracFlag := fs.Float64("frac", 0.10, "training fraction per suite")
+	alphaFlag := fs.Float64("alpha", 0.05, "significance level for the per-cell t-tests")
+	minLeaf := fs.Int("minleaf", 35, "minimum samples per leaf branch")
+	workersFlag := fs.Int("workers", 0, "matrix worker count (0 = one per cell)")
+	fs.Parse(args)
+
+	var zoo []transfer.MatrixSuite
+	for _, name := range strings.Split(*suitesFlag, ",") {
+		s, err := suiteByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		d, err := suites.GenerateContext(ctx, s, genOptions(*quickFlag, *seedFlag))
+		if err != nil {
+			return err
+		}
+		if obsRun.Enabled() {
+			obsRun.Manifest.AddDataset(d.Shape(s.Name))
+		}
+		zoo = append(zoo, transfer.MatrixSuite{Name: s.Name, Data: d})
+	}
+	treeOpts := mtree.DefaultOptions()
+	treeOpts.MinLeaf = *minLeaf
+	if *quickFlag && *minLeaf == 35 {
+		treeOpts.MinLeaf = 10
+	}
+	opts := transfer.MatrixOptions{
+		TrainFraction: *fracFlag,
+		SplitSeed:     1962, // the facade's transfer split seed
+		Tree:          treeOpts,
+		Assess:        transfer.Options{Alpha: *alphaFlag},
+		Workers:       *workersFlag,
+	}
+	m, err := transfer.MatrixAssessContext(ctx, zoo, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.RenderText())
+	if *outFlag == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		return err
+	}
+	for _, art := range matrixArtifacts {
+		p, err := robust.CreateAtomic(filepath.Join(*outFlag, art.name))
+		if err != nil {
+			return err
+		}
+		if err := art.render(m, p); err != nil {
+			p.Abort()
+			return err
+		}
+		if err := p.Commit(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nwrote %s/transfer_matrix.{json,md,svg}\n", *outFlag)
+	return nil
+}

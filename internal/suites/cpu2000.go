@@ -18,14 +18,14 @@ func CPU2000() *Suite {
 				Name: "164.gzip", Lang: "C", Domain: "compression", Weight: 1.0,
 				Phases: []trace.Phase{
 					computePhase(0.6, 0.3, 0.12, 0.13, 0.01, 0, 0),
-					tlbBoundPhase(0.25, 120, 0.08),
+					tlbBoundPhase(0.25, 95, 0.08),
 					branchyPhase(0.15, 0.4, 8),
 				},
 			},
 			{
 				Name: "175.vpr", Lang: "C", Domain: "FPGA place & route", Weight: 0.9,
 				Phases: []trace.Phase{
-					tlbBoundPhase(0.5, 300, 0.1),
+					tlbBoundPhase(0.5, 240, 0.1),
 					branchyPhase(0.3, 0.45, 16),
 					computePhase(0.2, 0.3, 0.1, 0.14, 0.02, 0, 0),
 				},
@@ -35,7 +35,7 @@ func CPU2000() *Suite {
 				Phases: []trace.Phase{
 					icachePhase(0.45, 128),
 					branchyPhase(0.35, 0.3, 48),
-					tlbBoundPhase(0.2, 350, 0.1),
+					tlbBoundPhase(0.2, 280, 0.1),
 				},
 			},
 			{
@@ -43,7 +43,7 @@ func CPU2000() *Suite {
 				Phases: []trace.Phase{
 					// The 2000-era mcf: smaller graph, still pointer-bound.
 					memBoundPhase(0.75, 48, 0.35),
-					tlbBoundPhase(0.25, 900, 0.2),
+					tlbBoundPhase(0.25, 720, 0.2),
 				},
 			},
 			{
@@ -57,7 +57,7 @@ func CPU2000() *Suite {
 				Name: "197.parser", Lang: "C", Domain: "NL parsing", Weight: 1.0,
 				Phases: []trace.Phase{
 					branchyPhase(0.45, 0.4, 16),
-					tlbBoundPhase(0.35, 260, 0.09),
+					tlbBoundPhase(0.35, 210, 0.09),
 					computePhase(0.2, 0.3, 0.1, 0.14, 0.01, 0, 0),
 				},
 			},
@@ -73,7 +73,7 @@ func CPU2000() *Suite {
 				Name: "255.vortex", Lang: "C", Domain: "object database", Weight: 0.9,
 				Phases: []trace.Phase{
 					icachePhase(0.4, 96),
-					tlbBoundPhase(0.4, 420, 0.1),
+					tlbBoundPhase(0.4, 340, 0.1),
 					computePhase(0.2, 0.3, 0.12, 0.12, 0.01, 0, 0),
 				},
 			},
@@ -81,14 +81,14 @@ func CPU2000() *Suite {
 				Name: "256.bzip2", Lang: "C", Domain: "compression", Weight: 1.0,
 				Phases: []trace.Phase{
 					computePhase(0.55, 0.3, 0.12, 0.14, 0.01, 0, 0),
-					tlbBoundPhase(0.25, 140, 0.09),
+					tlbBoundPhase(0.25, 110, 0.09),
 					branchyPhase(0.2, 0.45, 12),
 				},
 			},
 			{
 				Name: "300.twolf", Lang: "C", Domain: "place & route", Weight: 0.9,
 				Phases: []trace.Phase{
-					tlbBoundPhase(0.55, 280, 0.1),
+					tlbBoundPhase(0.55, 225, 0.1),
 					branchyPhase(0.25, 0.4, 12),
 					computePhase(0.2, 0.3, 0.1, 0.12, 0.02, 0, 0),
 				},
@@ -120,7 +120,7 @@ func CPU2000() *Suite {
 				Name: "188.ammp", Lang: "C", Domain: "molecular mechanics", Weight: 1.0,
 				Phases: []trace.Phase{
 					computePhase(0.5, 0.31, 0.1, 0.09, 0.04, 0.003, 0.07),
-					tlbBoundPhase(0.3, 200, 0.08),
+					tlbBoundPhase(0.3, 160, 0.08),
 					streamPhase(0.2, 4, 0.2),
 				},
 			},

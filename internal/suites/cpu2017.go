@@ -1,0 +1,155 @@
+package suites
+
+import "specchar/internal/trace"
+
+// CPU2017 returns a synthetic CPU2017-style suite: the rate-run subset of
+// the generation that replaced CPU2006. It is calibrated one step up the
+// working-set and vectorization ladder from CPU2006 (see doc.go for the
+// zoo-wide ordering targets):
+//
+//   - the 2006 archetypes persist — a cache-resident low-CPI population,
+//     DTLB-pressured integer codes, a pointer-bound mcf — but reference
+//     working sets grow, so the memory-side event densities (L2Miss,
+//     DtlbMiss, PageWalk) shift up as the CPU2026 characterization papers
+//     report for real generation successions;
+//   - the FP side moves from 16-byte SIMD toward wide-vector streaming
+//     (bwaves/lbm/fotonik3d as AVX-era kernels), raising the suite's SIMD
+//     density above CPU2006's;
+//   - xalancbmk and the game AIs (deepsjeng, leela) push front-end and
+//     branch pressure harder than their 2006 counterparts, and leela adds
+//     the first taste of the pointer-chase archetype that CPU2026's
+//     graph/embedding workloads make dominant.
+func CPU2017() *Suite {
+	return &Suite{
+		Name: "SPEC CPU2017",
+		Benchmarks: []Benchmark{
+			{
+				Name: "500.perlbench_r", Lang: "C", Domain: "interpreter", Weight: 1.1,
+				Phases: []trace.Phase{
+					computePhase(0.5, 0.28, 0.12, 0.16, 0.01, 0, 0),
+					branchyPhase(0.3, 0.38, 56),
+					icachePhase(0.2, 128),
+				},
+			},
+			{
+				Name: "502.gcc_r", Lang: "C", Domain: "compiler", Weight: 0.9,
+				Phases: []trace.Phase{
+					icachePhase(0.45, 256),
+					branchyPhase(0.3, 0.32, 96),
+					tlbBoundPhase(0.25, 800, 0.13),
+				},
+			},
+			{
+				Name: "505.mcf_r", Lang: "C", Domain: "vehicle scheduling", Weight: 0.8,
+				Phases: []trace.Phase{
+					// The 2017 mcf: a deeper graph than 429.mcf, starting
+					// to resemble the pointer-chase archetype proper.
+					memBoundPhase(0.6, 128, 0.35),
+					pointerChasePhase(0.25, 96, 3000, 0.93),
+					tlbBoundPhase(0.15, 2000, 0.25),
+				},
+			},
+			{
+				Name: "520.omnetpp_r", Lang: "C++", Domain: "discrete-event simulation", Weight: 0.9,
+				Phases: []trace.Phase{
+					tlbBoundPhase(0.5, 1200, 0.14),
+					pointerChasePhase(0.25, 32, 2000, 0.95),
+					branchyPhase(0.25, 0.4, 32),
+				},
+			},
+			{
+				Name: "523.xalancbmk_r", Lang: "C++", Domain: "XSLT processing", Weight: 1.0,
+				Phases: []trace.Phase{
+					icachePhase(0.5, 320),
+					branchyPhase(0.3, 0.35, 96),
+					tlbBoundPhase(0.2, 700, 0.12),
+				},
+			},
+			{
+				Name: "525.x264_r", Lang: "C", Domain: "video encoding", Weight: 1.1,
+				Phases: []trace.Phase{
+					simdPhase(0.5, 0.42, 0.06, 1024),
+					computePhase(0.3, 0.3, 0.1, 0.12, 0.02, 0, 0.08),
+					branchyPhase(0.2, 0.3, 24),
+				},
+			},
+			{
+				Name: "531.deepsjeng_r", Lang: "C++", Domain: "chess AI", Weight: 1.0,
+				Phases: []trace.Phase{
+					branchyPhase(0.55, 0.52, 32),
+					tlbBoundPhase(0.3, 500, 0.11),
+					computePhase(0.15, 0.28, 0.1, 0.18, 0.01, 0, 0),
+				},
+			},
+			{
+				Name: "541.leela_r", Lang: "C++", Domain: "go-playing AI", Weight: 1.0,
+				Phases: []trace.Phase{
+					branchyPhase(0.5, 0.5, 24),
+					pointerChasePhase(0.3, 24, 1600, 0.95),
+					computePhase(0.2, 0.28, 0.1, 0.16, 0.01, 0, 0.02),
+				},
+			},
+			{
+				Name: "548.exchange2_r", Lang: "Fortran", Domain: "recursive solver", Weight: 1.2,
+				Phases: []trace.Phase{
+					// Pure in-cache integer recursion: the suite's hmmer-like
+					// low-CPI anchor.
+					computePhase(0.9, 0.3, 0.12, 0.16, 0.01, 0, 0),
+					branchyPhase(0.1, 0.25, 12),
+				},
+			},
+			{
+				Name: "557.xz_r", Lang: "C", Domain: "compression", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.45, 0.3, 0.12, 0.14, 0.01, 0, 0),
+					tlbBoundPhase(0.35, 420, 0.11),
+					branchyPhase(0.2, 0.45, 16),
+				},
+			},
+			{
+				Name: "503.bwaves_r", Lang: "Fortran", Domain: "explosion modeling", Weight: 1.2,
+				Phases: []trace.Phase{
+					wideVectorPhase(0.7, 0.5, 24),
+					streamPhase(0.3, 12, 0.3),
+				},
+			},
+			{
+				Name: "507.cactuBSSN_r", Lang: "C++", Domain: "numerical relativity", Weight: 1.0,
+				Phases: []trace.Phase{
+					simdPhase(0.55, 0.48, 0.05, 2048),
+					wideVectorPhase(0.25, 0.45, 8),
+					tlbBoundPhase(0.2, 600, 0.1),
+				},
+			},
+			{
+				Name: "519.lbm_r", Lang: "C", Domain: "fluid dynamics", Weight: 1.1,
+				Phases: []trace.Phase{
+					wideVectorPhase(0.75, 0.42, 32),
+					computePhase(0.25, 0.3, 0.1, 0.1, 0.02, 0, 0.1),
+				},
+			},
+			{
+				Name: "521.wrf_r", Lang: "Fortran", Domain: "weather forecasting", Weight: 1.0,
+				Phases: []trace.Phase{
+					computePhase(0.4, 0.3, 0.1, 0.1, 0.03, 0.002, 0.12),
+					streamPhase(0.35, 10, 0.3),
+					simdPhase(0.25, 0.4, 0.04, 1024),
+				},
+			},
+			{
+				Name: "538.imagick_r", Lang: "C", Domain: "image processing", Weight: 1.1,
+				Phases: []trace.Phase{
+					simdPhase(0.6, 0.45, 0.05, 768),
+					computePhase(0.4, 0.3, 0.1, 0.1, 0.03, 0, 0.1),
+				},
+			},
+			{
+				Name: "549.fotonik3d_r", Lang: "Fortran", Domain: "electromagnetics", Weight: 1.0,
+				Phases: []trace.Phase{
+					wideVectorPhase(0.6, 0.48, 28),
+					streamPhase(0.4, 14, 0.35),
+				},
+			},
+		},
+	}
+}

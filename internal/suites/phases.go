@@ -147,6 +147,65 @@ func aliasPhase(weight, aliasRate, partialFrac, storeFrac float64) trace.Phase {
 	}
 }
 
+// orchestrationPhase is the CPU2026-era control-plane archetype:
+// framework glue, dynamic dispatch and accelerator orchestration. Very
+// branch-heavy with near-random outcomes, a hot code region far beyond
+// L1I, object graphs scattered over many pages, and almost no exploitable
+// ILP — the lowest-IPC integer behaviour in the zoo, bound by the front
+// end and the branch predictor rather than by any one cache level.
+func orchestrationPhase(weight, entropy float64, codeKB, spreadPages int) trace.Phase {
+	return trace.Phase{
+		Name: "orchestration", Weight: weight,
+		LoadFrac: 0.28, StoreFrac: 0.12, BranchFrac: 0.26,
+		DataFootprint: 1 << 20, SeqFrac: 0.2, HotFrac: 0.9,
+		PageSpread:    spreadPages,
+		CodeFootprint: codeKB << 10,
+		BranchEntropy: entropy,
+		ILP:           1.15,
+	}
+}
+
+// pointerChasePhase is irregular-memory traversal at modern working-set
+// scale (graph analytics, sparse embedding lookups): dependent loads roam
+// a footprint far beyond L2 across a very wide page range, with
+// effectively no sequential locality and no miss overlap. It is
+// memBoundPhase pushed to the 2017/2026 regime where the DTLB, L2 and
+// memory all miss together on a majority of the roaming tail.
+func pointerChasePhase(weight float64, footprintMB, spreadPages int, hotFrac float64) trace.Phase {
+	return trace.Phase{
+		Name: "pointer-chase", Weight: weight,
+		LoadFrac: 0.38, StoreFrac: 0.06, BranchFrac: 0.14,
+		DataFootprint: footprintMB << 20,
+		PageSpread:    spreadPages,
+		SeqFrac:       0.02,
+		HotFrac:       hotFrac,
+		CodeFootprint: 8 << 10,
+		BranchEntropy: 0.3,
+		ILP:           1.05, // each miss feeds the next address
+	}
+}
+
+// wideVectorPhase is wide-SIMD streaming compute (GEMM tiles, attention
+// kernels, vectorized filters): 32-byte vector accesses walking a large
+// footprint almost perfectly sequentially, with very high SIMD share and
+// the best miss overlap in the zoo. The wide accesses touch pages fast
+// enough that DTLB misses register every interval even though the stream
+// prefetches well.
+func wideVectorPhase(weight, simdFrac float64, footprintMB int) trace.Phase {
+	return trace.Phase{
+		Name: "wide-vector", Weight: weight,
+		LoadFrac: 0.26, StoreFrac: 0.1, BranchFrac: 0.04,
+		MulFrac: 0.02, SIMDFrac: simdFrac,
+		DataFootprint: footprintMB << 20,
+		SeqFrac:       0.97,
+		HotFrac:       0.9,
+		AccessSize:    32,
+		CodeFootprint: 4 << 10,
+		BranchEntropy: 0.02,
+		ILP:           3.4,
+	}
+}
+
 // icachePhase has a hot code region far beyond L1I (gcc/xalancbmk front
 // ends).
 func icachePhase(weight float64, codeKB int) trace.Phase {

@@ -1,16 +1,3 @@
-// Package suites defines synthetic stand-ins for every benchmark of SPEC
-// CPU2006 (29 workloads, reference inputs) and SPEC OMP2001 (11 medium
-// workloads), and the pipeline that turns them into model datasets.
-//
-// Each benchmark is a weighted list of trace.Phases whose microarchitectural
-// character was set from the paper's published observations: which
-// benchmarks are cache-resident and live almost entirely in the big
-// low-CPI linear model, which are DTLB/L2-bound, which are SIMD-dominated,
-// which suffer store-forwarding blocks, and so on. Absolute event
-// densities differ from the paper's hardware, but the relative structure —
-// what discriminates performance classes within and across the two
-// suites — is preserved, which is the property the paper's methodology
-// actually consumes.
 package suites
 
 import (
@@ -89,6 +76,14 @@ func (s *Suite) Benchmark(name string) *Benchmark {
 		}
 	}
 	return nil
+}
+
+// Generations returns the CPU suite ladder in lineage order — CPU2000,
+// CPU2006, CPU2017, CPU2026 — the zoo the N×N transfer-matrix experiment
+// spans (see doc.go for how the four generations differ and what ordering
+// their event distributions are calibrated to).
+func Generations() []*Suite {
+	return []*Suite{CPU2000(), CPU2006(), CPU2017(), CPU2026()}
 }
 
 // GenOptions configure dataset generation.

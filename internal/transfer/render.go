@@ -1,0 +1,252 @@
+package transfer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Rendering of a TransferMatrix into the three artifact forms the
+// `specchar matrix` subcommand publishes: canonical JSON (machine
+// consumers), a GitHub-flavored markdown table pair (EXPERIMENTS.md and
+// the README atlas), and a dependency-free SVG heatmap. Every renderer is
+// deterministic — fixed float formats, fixed iteration order, no
+// timestamps — so the checked-in artifacts under results/ can be
+// regenerated and byte-compared by CI (scripts/check-results-freshness.sh).
+
+// WriteJSON writes the matrix as indented JSON with a trailing newline.
+// encoding/json's shortest-round-trip float encoding keeps the bytes
+// canonical for a given matrix.
+func (m *TransferMatrix) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("transfer: encoding matrix: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// shortName compresses "SPEC CPU2006" to "CPU2006" for axis labels.
+func shortName(s string) string {
+	return strings.TrimPrefix(s, "SPEC ")
+}
+
+// verdictGlyph renders the combined verdict plus which gate(s) failed:
+// "✓" transferable, "✗ᵗ" hypothesis tests reject, "✗ᵐ" accuracy metrics
+// fail, "✗ᵗᵐ" both.
+func verdictGlyph(c *MatrixCell) string {
+	if c.Transferable {
+		return "✓"
+	}
+	g := "✗"
+	if !c.HypothesisOK {
+		g += "ᵗ"
+	}
+	if !c.MetricsOK {
+		g += "ᵐ"
+	}
+	return g
+}
+
+// RenderMarkdown renders the acceptance grid and the t-test detail as
+// GitHub-flavored markdown tables.
+func (m *TransferMatrix) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Cross-generation transfer matrix\n\n")
+	fmt.Fprintf(&b, "Each cell applies the model trained on the **row** suite (%.0f%% stratified\n",
+		100*m.TrainFraction)
+	fmt.Fprintf(&b, "share) to the **column** suite's held-out share, and reports the paper's\n")
+	fmt.Fprintf(&b, "Section VI battery: ✓ = transferable (both gates pass at α = %.2f with\n", m.Alpha)
+	fmt.Fprintf(&b, "C ≥ %.2f and MAE ≤ %.2f); ✗ = not transferable, with the failing gate(s)\n",
+		m.Thresholds.MinCorrelation, m.Thresholds.MaxMAE)
+	fmt.Fprintf(&b, "superscripted — ᵗ hypothesis tests reject, ᵐ accuracy metrics fail.\n\n")
+
+	fmt.Fprintf(&b, "## Acceptance grid\n\n")
+	b.WriteString("| train \\ test |")
+	for _, s := range m.Suites {
+		fmt.Fprintf(&b, " %s |", shortName(s))
+	}
+	b.WriteString("\n|---|")
+	for range m.Suites {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for i, row := range m.Cells {
+		fmt.Fprintf(&b, "| **%s** |", shortName(m.Suites[i]))
+		for j := range row {
+			c := &row[j]
+			fmt.Fprintf(&b, " %s C=%.3f MAE=%.3f |", verdictGlyph(c), c.Correlation, c.MAE)
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "\n## Hypothesis-test detail\n\n")
+	fmt.Fprintf(&b, "Cell format: sample-t / prediction-t (Equation 11); a starred statistic\n")
+	fmt.Fprintf(&b, "rejects its Null at α = %.2f.\n\n", m.Alpha)
+	b.WriteString("| train \\ test |")
+	for _, s := range m.Suites {
+		fmt.Fprintf(&b, " %s |", shortName(s))
+	}
+	b.WriteString("\n|---|")
+	for range m.Suites {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for i, row := range m.Cells {
+		fmt.Fprintf(&b, "| **%s** |", shortName(m.Suites[i]))
+		for j := range row {
+			c := &row[j]
+			fmt.Fprintf(&b, " %s / %s |", starT(c.SampleT.Statistic, c.SampleT.PValue, m.Alpha),
+				starT(c.PredictionT.Statistic, c.PredictionT.PValue, m.Alpha))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nTrain shares: ")
+	for i, row := range m.Cells {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s n=%d", shortName(m.Suites[i]), row[i].TrainN)
+	}
+	fmt.Fprintf(&b, ". Held-out shares: ")
+	for j := range m.Suites {
+		if j > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s n=%d", shortName(m.Suites[j]), m.Cells[0][j].TestN)
+	}
+	b.WriteString(".\n")
+	return b.String()
+}
+
+func starT(t, p, alpha float64) string {
+	s := fmt.Sprintf("%+.2f", t)
+	if p < alpha {
+		s += "\\*"
+	}
+	return s
+}
+
+// The sequential blue ramp used for the heatmap fill (one hue, light to
+// dark, validated for CVD safety and surface contrast). Correlation C is
+// the encoded magnitude; the verdict glyph carries pass/fail so the
+// verdict is never color-alone.
+var heatRamp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// heatColor maps a correlation to a ramp step (clamped to [0, 1]) and
+// reports whether the step is dark enough to need light cell text.
+func heatColor(c float64) (fill string, darkFill bool) {
+	if c < 0 || c != c { // negative or NaN correlation: lightest step
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	idx := int(c * float64(len(heatRamp)-1))
+	return heatRamp[idx], idx >= 7
+}
+
+// SVG geometry (pixels).
+const (
+	svgCellW   = 150
+	svgCellH   = 64
+	svgGap     = 2   // surface gap between cells
+	svgLeft    = 118 // row-label gutter
+	svgTop     = 86  // title + column labels
+	svgLegendH = 56
+	svgPad     = 12
+)
+
+// RenderSVG renders the matrix as a self-contained heatmap: cells colored
+// by correlation C on a one-hue sequential ramp, each cell direct-labeled
+// with the verdict glyph and its C/MAE numbers, plus a discrete ramp
+// legend. The output is deterministic and dependency-free (pure
+// templating, no fonts embedded — it inherits the viewer's sans-serif).
+func (m *TransferMatrix) RenderSVG() string {
+	n := len(m.Suites)
+	w := svgLeft + n*svgCellW + svgPad
+	h := svgTop + n*svgCellH + svgLegendH + svgPad
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="Cross-generation transfer matrix heatmap">`, w, h, w, h)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="26" font-family="system-ui,sans-serif" font-size="15" font-weight="600" fill="#262625">Cross-generation transfer: train row → test column</text>`+"\n", svgPad)
+	fmt.Fprintf(&b, `<text x="%d" y="44" font-family="system-ui,sans-serif" font-size="11" fill="#6b6a66">cell fill: correlation C of predictions on the test suite · ✓/✗: Section VI transferability verdict (α=%.2f, C≥%.2f, MAE≤%.2f)</text>`+"\n",
+		svgPad, m.Alpha, m.Thresholds.MinCorrelation, m.Thresholds.MaxMAE)
+	// Column labels.
+	for j, s := range m.Suites {
+		x := svgLeft + j*svgCellW + svgCellW/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="system-ui,sans-serif" font-size="12" fill="#262625">%s</text>`+"\n",
+			x, svgTop-10, shortName(s))
+	}
+	// Rows: label + cells.
+	for i, row := range m.Cells {
+		y := svgTop + i*svgCellH
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" font-family="system-ui,sans-serif" font-size="12" fill="#262625">%s</text>`+"\n",
+			svgLeft-8, y+svgCellH/2+4, shortName(m.Suites[i]))
+		for j := range row {
+			c := &row[j]
+			x := svgLeft + j*svgCellW
+			fill, dark := heatColor(c.Correlation)
+			ink, sub := "#262625", "#45443f"
+			if dark {
+				ink, sub = "#ffffff", "#d8e6f7"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="4" fill="%s"/>`+"\n",
+				x+svgGap/2, y+svgGap/2, svgCellW-svgGap, svgCellH-svgGap, fill)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="system-ui,sans-serif" font-size="13" font-weight="600" fill="%s">%s C=%.3f</text>`+"\n",
+				x+svgCellW/2, y+27, ink, verdictGlyph(c), c.Correlation)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="system-ui,sans-serif" font-size="11" fill="%s">MAE=%.3f</text>`+"\n",
+				x+svgCellW/2, y+45, sub, c.MAE)
+		}
+	}
+	// Discrete ramp legend.
+	ly := svgTop + n*svgCellH + 18
+	sw := 18
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="system-ui,sans-serif" font-size="11" fill="#6b6a66">C = 0</text>`+"\n", svgLeft, ly+12)
+	for k, col := range heatRamp {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="14" fill="%s"/>`+"\n",
+			svgLeft+40+k*sw, ly, sw, col)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="system-ui,sans-serif" font-size="11" fill="#6b6a66">1</text>`+"\n",
+		svgLeft+40+len(heatRamp)*sw+6, ly+12)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// RenderText renders the acceptance grid as a fixed-width console table
+// (the `specchar matrix` stdout form).
+func (m *TransferMatrix) RenderText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transfer matrix: %d suites, train fraction %.0f%%, alpha %.2f, C>=%.2f MAE<=%.2f\n\n",
+		len(m.Suites), 100*m.TrainFraction, m.Alpha, m.Thresholds.MinCorrelation, m.Thresholds.MaxMAE)
+	width := 12
+	for _, s := range m.Suites {
+		if len(shortName(s)) > width {
+			width = len(shortName(s))
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "train \\ test")
+	for _, s := range m.Suites {
+		fmt.Fprintf(&b, "  %-22s", shortName(s))
+	}
+	b.WriteString("\n")
+	for i, row := range m.Cells {
+		fmt.Fprintf(&b, "%-*s", width+2, shortName(m.Suites[i]))
+		for j := range row {
+			c := &row[j]
+			mark := "ok "
+			if !c.Transferable {
+				mark = "NO "
+			}
+			fmt.Fprintf(&b, "  %s C=%6.3f M=%.3f", mark, c.Correlation, c.MAE)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Checks every relative markdown link and image in the top-level docs
+# against the working tree: a renamed artifact or section file breaks the
+# docs silently otherwise. External (scheme-qualified) links and intra-
+# document #anchors are skipped — this is an existence check, not a
+# crawler.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md; do
+    [ -f "$doc" ] || continue
+    # Pull out the (target) of every [text](target) / ![alt](target).
+    links=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//') || true
+    for link in $links; do
+        case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Drop any #fragment and surrounding whitespace.
+        path=${link%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$path" ]; then
+            echo "$doc: broken relative link: $link" >&2
+            status=1
+        fi
+    done
+done
+if [ "$status" -ne 0 ]; then
+    exit 1
+fi
+echo "all relative markdown links resolve"

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Fails if the checked-in transfer-matrix artifacts under results/ have
+# drifted from what `specchar matrix` renders today. The matrix pipeline
+# is deterministic end to end (fixed generation seed, index-derived split
+# seeds, fixed-format renderers), so a byte diff means someone changed
+# the suites, the assessment battery, or a renderer without regenerating
+# the atlas — regenerate with:
+#
+#     go run ./cmd/specchar matrix -o results
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/specchar matrix -o "$tmp" >/dev/null
+
+status=0
+for f in transfer_matrix.json transfer_matrix.md transfer_matrix.svg; do
+    if ! cmp -s "results/$f" "$tmp/$f"; then
+        echo "results/$f is stale (differs from a fresh render)" >&2
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    echo "regenerate with: go run ./cmd/specchar matrix -o results" >&2
+    exit 1
+fi
+echo "results/ transfer-matrix artifacts are fresh"
