@@ -414,8 +414,11 @@ func BenchmarkPredictDatasetCompiledParallel(b *testing.B) { benchPredictDataset
 
 // benchPredictColumnarWorkers times the column-major scorer over the
 // same dataset in its zero-parse columnar form — the layout `specchar
-// convert` writes and OpenColumnar maps. No per-chunk row gather: the
-// kernel walks each attribute column directly.
+// convert` writes and OpenColumnar maps. Since PR 10 this is the fused
+// tile-transpose route: L1-resident sub-chunks are gathered into pooled
+// row scratch and scored by the same fused kernel as the row path,
+// bit-identically (the in-place column-walk kernels remain measurable
+// via WithColumnarDirect).
 func benchPredictColumnarWorkers(b *testing.B, workers int) {
 	s := benchStudy(b)
 	ctree, err := s.CPUTree.Compile()

@@ -10,6 +10,17 @@
 // also records the baseline and the resulting speedup factor, which is
 // how scripts/bench.sh produces the checked-in BENCH_*.json evidence
 // files.
+//
+// Two further flags serve the perf-regression workflow:
+//
+//   - -roofline file embeds a roofline report (the JSON written by
+//     `specchar bench -roofline -roofline-out file`) under the report's
+//     "roofline" key, so one evidence file carries both the ns/op table
+//     and the machine's measured bandwidth ceilings.
+//   - -gate name=max_ns (repeatable) turns the report into a check: after
+//     writing it, benchjson exits 1 if any gated benchmark's ns/op
+//     exceeds its bound. scripts/bench.sh derives the bounds from a
+//     checked-in baseline with a noise multiplier.
 package main
 
 import (
@@ -20,6 +31,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"specchar/internal/roofline"
 )
 
 // Result is one benchmark's measurement, plus the optional baseline
@@ -40,6 +53,7 @@ type Report struct {
 	GoArch     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
+	Roofline   *roofline.Report  `json:"roofline,omitempty"`
 }
 
 // baselines accumulates repeated -baseline name=ns flags.
@@ -110,9 +124,12 @@ func parseLine(line string, rep *Report) (name string, r Result, ok bool) {
 
 func main() {
 	base := baselines{}
+	gates := baselines{}
 	label := flag.String("label", "", "free-form label recorded in the report")
 	out := flag.String("o", "", "output file (default stdout)")
+	rooflinePath := flag.String("roofline", "", "embed this roofline JSON report (from specchar bench -roofline-out)")
 	flag.Var(base, "baseline", "baseline as name=ns_per_op; repeatable")
+	flag.Var(gates, "gate", "regression gate as name=max_ns_per_op; exit 1 if exceeded; repeatable")
 	flag.Parse()
 
 	rep := Report{Label: *label, Benchmarks: map[string]Result{}}
@@ -136,6 +153,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if *rooflinePath != "" {
+		raw, err := os.ReadFile(*rooflinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var rl roofline.Report
+		if err := json.Unmarshal(raw, &rl); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing roofline %s: %v\n", *rooflinePath, err)
+			os.Exit(1)
+		}
+		rep.Roofline = &rl
+	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -144,10 +174,28 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// Gates run after the report is written: a regression still leaves
+	// the evidence file behind for diagnosis.
+	failed := false
+	for name, maxNs := range gates {
+		r, have := rep.Benchmarks[name]
+		if !have {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: benchmark not in input\n", name)
+			failed = true
+			continue
+		}
+		if r.NsPerOp > maxNs {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s: %.0f ns/op exceeds bound %.0f ns/op\n",
+				name, r.NsPerOp, maxNs)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

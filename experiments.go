@@ -34,13 +34,15 @@ const (
 	ExpPlatform   = "platform"    // extension: cross-platform transferability (paper §III caveat)
 	ExpNoise      = "noise"       // extension: measurement-noise robustness sweep
 	ExpLineage    = "lineage"     // extension: CPU2006 model on a synthetic CPU2000
+	ExpMatrix     = "matrix"      // extension: cross-generation NxN transfer matrix
 )
 
 // Experiments lists all experiment identifiers in paper order.
 func Experiments() []string {
 	return []string{ExpTable1, ExpFigure1, ExpTable2, ExpTable3, ExpFigure2,
 		ExpTable4, ExpTTestSelf, ExpTTestCross, ExpAccuracy, ExpReverse, ExpSweep,
-		ExpSubset, ExpModels, ExpImportance, ExpPhases, ExpCPIStack, ExpPlatform, ExpNoise, ExpLineage}
+		ExpSubset, ExpModels, ExpImportance, ExpPhases, ExpCPIStack, ExpPlatform, ExpNoise,
+		ExpLineage, ExpMatrix}
 }
 
 // Run executes one experiment by id and returns its rendered report.
@@ -92,6 +94,8 @@ func (s *Study) Run(id string) (string, error) {
 		return s.NoiseReport()
 	case ExpLineage:
 		return s.LineageReport()
+	case ExpMatrix:
+		return s.MatrixReport()
 	}
 	return "", fmt.Errorf("specchar: unknown experiment %q", id)
 }

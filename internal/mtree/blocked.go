@@ -35,12 +35,16 @@ import (
 
 // predictScratch is the per-chunk working state batch scoring borrows
 // from scratchPool instead of allocating: the fused kernel's transition
-// table and the columnar kernel's column base pointers. Chunks run on
-// whatever worker grabs them, so the scratch lives in a pool rather than
-// on the tree.
+// table, the direct columnar kernel's column base pointers, and the
+// tile-transpose row scratch (see transpose.go). Chunks run on whatever
+// worker grabs them, so the scratch lives in a pool rather than on the
+// tree.
 type predictScratch struct {
-	tr   []int32
-	colp []unsafe.Pointer
+	tr     []int32
+	colp   []unsafe.Pointer
+	rowbuf []float64
+	rows   []dataset.Sample
+	rowsW  int // width the rows headers were built for; 0 = not built
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(predictScratch) }}
@@ -294,13 +298,48 @@ func (c *CompiledTree) predictRowsRange(samples []dataset.Sample, lo, hi int, ou
 	}
 }
 
-// predictColsRange scores column-major samples [lo,hi) into out[lo:hi]
+// predictColsRange scores column-major samples [lo,hi) into out[lo:hi].
+// The default route gathers the chunk into pooled row-major scratch tile
+// by tile (transpose.go) and scores it through predictRowsRange — the
+// fused AVX-512 kernel when the hardware allows — so columnar
+// predictions are bit-identical to per-sample Predict. Chunk boundaries
+// are multiples of blockedChunk and tiles of laneBlock, exactly the row
+// path's block grid, so results are also worker-count invariant.
+// WithColumnarDirect selects the pre-transpose in-place kernels below.
+func (c *CompiledTree) predictColsRange(cols [][]float64, lo, hi int, out []float64) {
+	if c.colDirect {
+		c.predictColsRangeDirect(cols, lo, hi, out)
+		return
+	}
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	sc := scratchPool.Get().(*predictScratch)
+	// Sub-chunk so the gather's destination and the kernel's re-read stay
+	// L1-resident (colSubChunk × width floats ≈ 26 KiB at CPU2006 width)
+	// instead of bouncing a full chunk through L2. Sub-chunk boundaries
+	// are multiples of laneBlock, so the tile grid — and with it bit
+	// identity — is unchanged.
+	for t := lo; t < hi; t += colSubChunk {
+		te := min(t+colSubChunk, hi)
+		m := te - t
+		rows := sc.sampleRows(m, c.width)
+		transposeChunk(cols, t, m, c.width, sc.rowbuf)
+		c.predictRowsRange(rows, 0, m, out[t:te])
+	}
+	scratchPool.Put(sc)
+}
+
+// predictColsRangeDirect scores column-major samples [lo,hi) in place,
 // in the per-sample ascending-attribute schedule of dotColsSample.
 // Consecutive samples routed to the same leaf — the common case when
 // batches arrive in workload order — are scored as one run through the
 // broadcast kernel: one coefficient row serves the whole run and each
-// column is read as one sequential stretch.
-func (c *CompiledTree) predictColsRange(cols [][]float64, lo, hi int, out []float64) {
+// column is read as one sequential stretch. Kept behind
+// WithColumnarDirect as the measurement reference the roofline harness
+// compares against; it carries the 1e-9 contract, not the bitwise one.
+func (c *CompiledTree) predictColsRangeDirect(cols [][]float64, lo, hi int, out []float64) {
 	var refs [laneBlock]int32
 	w := c.width
 	var colp []unsafe.Pointer
@@ -361,9 +400,34 @@ func (c *CompiledTree) classifyRowsRange(samples []dataset.Sample, lo, hi int, o
 	}
 }
 
-// classifyColsRange fills out[lo:hi] with 1-based LeafIDs through the
-// blocked column-major kernel.
+// classifyColsRange fills out[lo:hi] with 1-based LeafIDs for
+// column-major samples: the default route transposes the chunk into
+// pooled row scratch and routes through the blocked row kernels (leaf
+// assignment is identical either way; the gathered rows route faster),
+// WithColumnarDirect keeps the in-place column walk.
 func (c *CompiledTree) classifyColsRange(cols [][]float64, lo, hi int, out []int) {
+	if c.colDirect {
+		c.classifyColsRangeDirect(cols, lo, hi, out)
+		return
+	}
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	sc := scratchPool.Get().(*predictScratch)
+	for t := lo; t < hi; t += colSubChunk {
+		te := min(t+colSubChunk, hi)
+		m := te - t
+		rows := sc.sampleRows(m, c.width)
+		transposeChunk(cols, t, m, c.width, sc.rowbuf)
+		c.classifyRowsRange(rows, 0, m, out[t:te])
+	}
+	scratchPool.Put(sc)
+}
+
+// classifyColsRangeDirect fills out[lo:hi] with 1-based LeafIDs through
+// the in-place blocked column-major kernel.
+func (c *CompiledTree) classifyColsRangeDirect(cols [][]float64, lo, hi int, out []int) {
 	var refs [laneBlock]int32
 	for blo := lo; blo < hi; blo += laneBlock {
 		n := min(laneBlock, hi-blo)

@@ -14,6 +14,7 @@ import (
 func TestBlockedAsmParity(t *testing.T) {
 	_, c := boundaryTree(t, 47)
 	d := boundaryDataset(t, c, 5)
+	cols := d.Columns()
 	refPreds := c.WithWorkers(1).PredictDataset(d)
 	refLeaves := c.ClassifyLeaves(d)
 
@@ -32,10 +33,17 @@ func TestBlockedAsmParity(t *testing.T) {
 			cw := c.WithWorkers(workers)
 			preds := cw.PredictDataset(d)
 			leaves := cw.ClassifyLeaves(d)
+			// The fused-columnar route rides the same row kernels off
+			// transposed tiles, so it must not move a bit either.
+			colPreds := cw.PredictColumns(cols, d.Len())
 			for i := range refPreds {
 				if math.Float64bits(preds[i]) != math.Float64bits(refPreds[i]) {
 					t.Fatalf("%s workers=%d sample %d: %v, asm reference %v",
 						cfg.name, workers, i, preds[i], refPreds[i])
+				}
+				if math.Float64bits(colPreds[i]) != math.Float64bits(refPreds[i]) {
+					t.Fatalf("%s workers=%d sample %d: columnar %v, asm reference %v",
+						cfg.name, workers, i, colPreds[i], refPreds[i])
 				}
 				if leaves[i] != refLeaves[i] {
 					t.Fatalf("%s workers=%d sample %d: leaf %d, asm reference %d",

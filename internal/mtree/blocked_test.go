@@ -118,19 +118,30 @@ func TestBlockedBoundaryEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: ClassifyLeavesColumns: %v", name, err)
 				}
+				// The direct (pre-transpose) columnar view folds its dot
+				// in a different association order, so it carries the
+				// 1e-9 contract rather than the bitwise one.
+				cd := cw.WithColumnarDirect(true)
+				dirPreds := cd.PredictColumns(cols, d.Len())
+				dirLeaves, err := cd.ClassifyLeavesColumns(context.Background(), cols, d.Len())
+				if err != nil {
+					t.Fatalf("%s: direct ClassifyLeavesColumns: %v", name, err)
+				}
 				for i := range wantPred {
 					if math.Float64bits(preds[i]) != math.Float64bits(wantPred[i]) {
 						t.Fatalf("%s: row sample %d: blocked %v, scalar %v", name, i, preds[i], wantPred[i])
 					}
-					// The column-major dot folds lanes in a different
-					// association order, so it carries the 1e-9 contract
-					// rather than the bitwise one.
-					if !closeEnough(colPreds[i], wantPred[i]) {
-						t.Fatalf("%s: col sample %d: blocked %v, scalar %v", name, i, colPreds[i], wantPred[i])
+					// The default columnar route transposes into row
+					// scratch and runs the row kernels: bitwise.
+					if math.Float64bits(colPreds[i]) != math.Float64bits(wantPred[i]) {
+						t.Fatalf("%s: col sample %d: fused-columnar %v, scalar %v", name, i, colPreds[i], wantPred[i])
 					}
-					if leaves[i] != wantLeaf[i] || colLeaves[i] != wantLeaf[i] {
-						t.Fatalf("%s: sample %d leaves: row %d, col %d, scalar %d",
-							name, i, leaves[i], colLeaves[i], wantLeaf[i])
+					if !closeEnough(dirPreds[i], wantPred[i]) {
+						t.Fatalf("%s: col sample %d: direct %v, scalar %v", name, i, dirPreds[i], wantPred[i])
+					}
+					if leaves[i] != wantLeaf[i] || colLeaves[i] != wantLeaf[i] || dirLeaves[i] != wantLeaf[i] {
+						t.Fatalf("%s: sample %d leaves: row %d, col %d, direct %d, scalar %d",
+							name, i, leaves[i], colLeaves[i], dirLeaves[i], wantLeaf[i])
 					}
 				}
 			}
@@ -193,6 +204,7 @@ func FuzzBlockedLeafIndex(f *testing.F) {
 			for _, workers := range []int{1, 4} {
 				cw := cq.WithWorkers(workers)
 				preds := cw.PredictDataset(d)
+				colPreds := cw.PredictColumns(cols, d.Len())
 				leaves := cw.ClassifyLeaves(d)
 				colLeaves, err := cw.ClassifyLeavesColumns(context.Background(), cols, d.Len())
 				if err != nil {
@@ -203,9 +215,14 @@ func FuzzBlockedLeafIndex(f *testing.F) {
 						t.Fatalf("quant=%v workers=%d sample %d: row leaf %d, col leaf %d, scalar %d",
 							quant, workers, i, leaves[i], colLeaves[i], want)
 					}
-					if want := c.Predict(s.X); math.Float64bits(preds[i]) != math.Float64bits(want) {
+					want := c.Predict(s.X)
+					if math.Float64bits(preds[i]) != math.Float64bits(want) {
 						t.Fatalf("quant=%v workers=%d sample %d: blocked %v, scalar %v",
 							quant, workers, i, preds[i], want)
+					}
+					if math.Float64bits(colPreds[i]) != math.Float64bits(want) {
+						t.Fatalf("quant=%v workers=%d sample %d: fused-columnar %v, scalar %v",
+							quant, workers, i, colPreds[i], want)
 					}
 				}
 			}

@@ -129,6 +129,11 @@ type CompiledTree struct {
 	// quant selects the quantized-threshold blocked kernels. Off by
 	// default; enable per call site with WithQuantized.
 	quant bool
+
+	// colDirect selects the pre-transpose in-place columnar kernels
+	// instead of the tile-transpose fused route. Off by default; enable
+	// per call site with WithColumnarDirect (measurement escape hatch).
+	colDirect bool
 }
 
 // Compile lowers the tree into its flat evaluation form, folding the
@@ -426,6 +431,29 @@ func (c *CompiledTree) WithQuantized(on bool) *CompiledTree {
 // quantized-threshold kernels.
 func (c *CompiledTree) Quantized() bool { return c.quant }
 
+// WithColumnarDirect returns a view whose columnar batch scoring walks
+// the columns in place through the pre-transpose broadcast kernels
+// instead of gathering tiles into row scratch for the fused row kernels
+// (see transpose.go). The direct route is the measurement reference the
+// roofline harness and the columnar benchmarks compare against — it is
+// ~4× slower on fused-kernel hardware and its dot product folds in a
+// different association order, so it matches per-sample Predict to 1e-9
+// rather than bitwise (leaf assignment is exact either way). Row-major
+// scoring is unaffected. Like WithWorkers, the view shares every slab
+// with the receiver, which is left untouched.
+func (c *CompiledTree) WithColumnarDirect(on bool) *CompiledTree {
+	if on == c.colDirect {
+		return c
+	}
+	cp := *c
+	cp.colDirect = on
+	return &cp
+}
+
+// ColumnarDirect reports whether columnar batch scoring uses the
+// in-place pre-transpose kernels.
+func (c *CompiledTree) ColumnarDirect() bool { return c.colDirect }
+
 // Schema returns the schema the tree was trained under.
 func (c *CompiledTree) Schema() *dataset.Schema { return c.schema }
 
@@ -567,10 +595,13 @@ func (c *CompiledTree) PredictDatasetContext(ctx context.Context, d *dataset.Dat
 
 // PredictColumns returns compiled predictions for n samples held in
 // column-major form: cols[j][i] is attribute j of sample i, the layout
-// dataset.Columns and the columnar binary format produce. Scoring reads
-// the columns in place — no row-major copy is ever made. All columns
-// must have length n and len(cols) must match the schema width; see
-// PredictColumnsChecked for the validating entry point.
+// dataset.Columns and the columnar binary format produce. Scoring
+// gathers laneBlock-sample tiles into pooled row-major scratch and runs
+// the fused row kernels (see transpose.go) — no full row-major matrix is
+// ever materialized, and predictions are bit-identical to per-sample
+// Predict at every worker count. All columns must have length n and
+// len(cols) must match the schema width; see PredictColumnsChecked for
+// the validating entry point.
 func (c *CompiledTree) PredictColumns(cols [][]float64, n int) []float64 {
 	out, err := c.PredictColumnsContext(context.Background(), cols, n)
 	if err != nil {
@@ -581,8 +612,8 @@ func (c *CompiledTree) PredictColumns(cols [][]float64, n int) []float64 {
 
 // PredictColumnsContext is PredictColumns with cooperative cancellation
 // at chunk boundaries, mirroring PredictDatasetContext. Predictions are
-// bit-identical to the row-major paths: the per-sample dot product runs
-// in the same ascending-attribute order with one accumulator.
+// bit-identical to the row-major paths: each chunk is transposed into
+// row scratch on the same block grid and scored by the same kernels.
 func (c *CompiledTree) PredictColumnsContext(ctx context.Context, cols [][]float64, n int) ([]float64, error) {
 	workers := effectiveWorkers(c.Workers)
 	_, span := obs.FromContext(ctx).StartSpan(ctx, "mtree.predict",

@@ -17,12 +17,16 @@ package mtree
 // the AVX2 two-register kernel, and the AVX-512 fused kernel agree
 // bitwise rather than merely closely.
 //
-// The columnar kernels use a second fixed schedule, dotColsSample: a
-// single accumulator ascending the attributes, because column-major data
-// is vectorized across samples (coefficient broadcast), not across
-// terms. Row and columnar predictions therefore agree to the usual
-// float64 rounding (well inside the 1e-9 equivalence budget, with
-// identical leaf assignment), not bitwise.
+// The direct (pre-transpose) columnar kernels use a second fixed
+// schedule, dotColsSample: a single accumulator ascending the
+// attributes, because in-place column-major data is vectorized across
+// samples (coefficient broadcast), not across terms. Direct-columnar
+// predictions therefore agree with the row schedule to the usual float64
+// rounding (well inside the 1e-9 equivalence budget, with identical leaf
+// assignment), not bitwise. The default columnar route no longer scores
+// in place at all — it transposes tiles into row scratch (transpose.go)
+// and runs the row schedule, so it IS bitwise-identical; these kernels
+// serve the WithColumnarDirect measurement view.
 
 import "math"
 

@@ -1,0 +1,258 @@
+// Package roofline measures what the machine can move and relates it to
+// what the scoring kernels ask of it.
+//
+// The roofline model bounds a kernel's attainable throughput by
+// min(peak compute, arithmetic intensity × peak bandwidth). The scoring
+// kernels of internal/mtree sit far down the bandwidth-bound slope: a
+// compiled tree touches each sample's w attributes once and performs 2w
+// flops on them (w multiplies, w adds, fused), an arithmetic intensity
+// of 2w / 8(w+1) ≈ 1/4 flop per byte. At intensities that low the
+// relevant peak is not FLOPS but sustained memory bandwidth, so the
+// harness measures that directly with the classic STREAM probes — copy,
+// scale, triad — over buffers sized far beyond last-level cache, and
+// then expresses each measured scoring path as achieved GB/s against
+// the triad ceiling.
+//
+// Methodology follows McCalpin's STREAM conventions: copy and scale
+// count 16 bytes moved per element (one read, one write), triad counts
+// 24 (two reads, one write); write-allocate traffic is not counted,
+// which makes the reported numbers conservative. Each probe runs
+// several rounds and keeps the best, the standard way to report the
+// bandwidth the machine can sustain rather than the noise floor of a
+// shared container.
+package roofline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options sizes the bandwidth probes.
+type Options struct {
+	// Elements is the length of each float64 probe buffer. The default
+	// (8 Mi elements, 64 MiB per buffer, three buffers) overwhelms any
+	// last-level cache this code plausibly runs on.
+	Elements int
+	// Rounds is how many timed passes each probe makes; the best round
+	// is reported. Default 5.
+	Rounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Elements <= 0 {
+		o.Elements = 8 << 20
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 5
+	}
+	return o
+}
+
+// Bandwidth is the measured STREAM profile of the machine.
+type Bandwidth struct {
+	Elements   int     `json:"elements"`
+	Rounds     int     `json:"rounds"`
+	CopyGBs    float64 `json:"copy_gbs"`
+	ScaleGBs   float64 `json:"scale_gbs"`
+	TriadGBs   float64 `json:"triad_gbs"`
+	BestLabel  string  `json:"best_label"`
+	BestGBs    float64 `json:"best_gbs"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// sink defeats dead-store elimination across probe rounds.
+var sink float64
+
+// MeasureBandwidth runs the copy/scale/triad probes and returns the
+// best-round bandwidth of each.
+func MeasureBandwidth(opts Options) Bandwidth {
+	opts = opts.withDefaults()
+	n := opts.Elements
+	start := time.Now()
+
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const s = 3.0
+
+	best := func(bytesPerElem int, pass func()) float64 {
+		var bestSec float64
+		for r := 0; r < opts.Rounds; r++ {
+			t0 := time.Now()
+			pass()
+			sec := time.Since(t0).Seconds()
+			if r == 0 || sec < bestSec {
+				bestSec = sec
+			}
+		}
+		if bestSec <= 0 {
+			return 0
+		}
+		return float64(n*bytesPerElem) / bestSec / 1e9
+	}
+
+	bw := Bandwidth{Elements: n, Rounds: opts.Rounds}
+	bw.CopyGBs = best(16, func() {
+		copy(c, a)
+	})
+	bw.ScaleGBs = best(16, func() {
+		for i := range b {
+			b[i] = s * c[i]
+		}
+	})
+	bw.TriadGBs = best(24, func() {
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+	})
+	sink += a[n/2] + b[n/3] + c[n/5]
+
+	bw.BestLabel, bw.BestGBs = "copy", bw.CopyGBs
+	if bw.ScaleGBs > bw.BestGBs {
+		bw.BestLabel, bw.BestGBs = "scale", bw.ScaleGBs
+	}
+	if bw.TriadGBs > bw.BestGBs {
+		bw.BestLabel, bw.BestGBs = "triad", bw.TriadGBs
+	}
+	bw.ElapsedSec = time.Since(start).Seconds()
+	return bw
+}
+
+// Kernel describes a scoring path's per-sample traffic and work, the
+// inputs to its arithmetic intensity.
+type Kernel struct {
+	Name string `json:"name"`
+	// BytesPerSample is the unavoidable per-sample memory traffic: the
+	// attribute row (or its column-major equivalent) plus the prediction
+	// written out.
+	BytesPerSample float64 `json:"bytes_per_sample"`
+	// FlopsPerSample counts the leaf dot product: w fused multiply-adds
+	// = 2w flops. Routing comparisons are not flops and are not counted.
+	FlopsPerSample float64 `json:"flops_per_sample"`
+}
+
+// ScoringKernel builds the traffic model shared by every scoring path
+// over a w-attribute schema: 8w bytes of attributes in, 8 bytes of
+// prediction out, 2w flops.
+func ScoringKernel(name string, w int) Kernel {
+	return Kernel{
+		Name:           name,
+		BytesPerSample: float64(8 * (w + 1)),
+		FlopsPerSample: float64(2 * w),
+	}
+}
+
+// Intensity is the kernel's arithmetic intensity in flops per byte.
+func (k Kernel) Intensity() float64 {
+	if k.BytesPerSample == 0 {
+		return 0
+	}
+	return k.FlopsPerSample / k.BytesPerSample
+}
+
+// Measured is one scoring path held against the roofline.
+type Measured struct {
+	Kernel
+	Samples   int     `json:"samples"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	GBs       float64 `json:"achieved_gbs"`
+	GFlops    float64 `json:"achieved_gflops"`
+	PctOfPeak float64 `json:"pct_of_peak_bw"`
+	Intensity float64 `json:"intensity_flops_per_byte"`
+}
+
+// Assess converts a timed run of the kernel over n samples into
+// achieved bandwidth and percent of the measured peak.
+func Assess(k Kernel, n int, nsPerOp float64, bw Bandwidth) Measured {
+	m := Measured{Kernel: k, Samples: n, NsPerOp: nsPerOp, Intensity: k.Intensity()}
+	if nsPerOp <= 0 || n <= 0 {
+		return m
+	}
+	sec := nsPerOp / 1e9
+	m.GBs = k.BytesPerSample * float64(n) / sec / 1e9
+	m.GFlops = k.FlopsPerSample * float64(n) / sec / 1e9
+	if bw.BestGBs > 0 {
+		m.PctOfPeak = 100 * m.GBs / bw.BestGBs
+	}
+	return m
+}
+
+// Time runs fn repeatedly (at least rounds times) and returns the best
+// wall time per call in nanoseconds — the same best-of discipline as
+// the bandwidth probes.
+func Time(rounds int, fn func()) float64 {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	var bestNs float64
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		fn()
+		ns := float64(time.Since(t0).Nanoseconds())
+		if r == 0 || ns < bestNs {
+			bestNs = ns
+		}
+	}
+	return bestNs
+}
+
+// Report is the full roofline story: the machine's measured ceilings
+// and each scoring path held against them.
+type Report struct {
+	Bandwidth Bandwidth  `json:"bandwidth"`
+	Kernels   []Measured `json:"kernels"`
+}
+
+// Add assesses and records one scoring path.
+func (r *Report) Add(k Kernel, n int, nsPerOp float64) Measured {
+	m := Assess(k, n, nsPerOp, r.Bandwidth)
+	r.Kernels = append(r.Kernels, m)
+	return m
+}
+
+// RenderText formats the report as the aligned table `specchar bench
+// -roofline` prints.
+func (r *Report) RenderText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "memory roofline (STREAM best-of-%d, %d elements/buffer)\n",
+		r.Bandwidth.Rounds, r.Bandwidth.Elements)
+	fmt.Fprintf(&sb, "  copy  %8.2f GB/s\n", r.Bandwidth.CopyGBs)
+	fmt.Fprintf(&sb, "  scale %8.2f GB/s\n", r.Bandwidth.ScaleGBs)
+	fmt.Fprintf(&sb, "  triad %8.2f GB/s\n", r.Bandwidth.TriadGBs)
+	fmt.Fprintf(&sb, "  peak  %8.2f GB/s (%s)\n", r.Bandwidth.BestGBs, r.Bandwidth.BestLabel)
+	if len(r.Kernels) == 0 {
+		return sb.String()
+	}
+	ks := make([]Measured, len(r.Kernels))
+	copy(ks, r.Kernels)
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].GBs > ks[j].GBs })
+	wname := len("kernel")
+	for _, k := range ks {
+		if len(k.Name) > wname {
+			wname = len(k.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "\n%-*s  %12s  %10s  %10s  %8s  %10s\n",
+		wname, "kernel", "ns/op", "GB/s", "GFLOP/s", "%peak", "flops/byte")
+	for _, k := range ks {
+		fmt.Fprintf(&sb, "%-*s  %12.0f  %10.2f  %10.2f  %7.1f%%  %10.3f\n",
+			wname, k.Name, k.NsPerOp, k.GBs, k.GFlops, k.PctOfPeak, k.Intensity)
+	}
+	return sb.String()
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

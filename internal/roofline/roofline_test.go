@@ -1,0 +1,142 @@
+package roofline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// small keeps test probes fast: 256 Ki elements, 2 rounds.
+var small = Options{Elements: 1 << 18, Rounds: 2}
+
+func TestMeasureBandwidthSanity(t *testing.T) {
+	bw := MeasureBandwidth(small)
+	if bw.Elements != small.Elements || bw.Rounds != small.Rounds {
+		t.Fatalf("options not echoed: %+v", bw)
+	}
+	for _, p := range []struct {
+		name string
+		gbs  float64
+	}{{"copy", bw.CopyGBs}, {"scale", bw.ScaleGBs}, {"triad", bw.TriadGBs}} {
+		if p.gbs <= 0 || math.IsInf(p.gbs, 0) || math.IsNaN(p.gbs) {
+			t.Fatalf("%s bandwidth not positive finite: %v", p.name, p.gbs)
+		}
+		// A machine that runs this test moves more than 10 MB/s and less
+		// than 10 TB/s through one core.
+		if p.gbs < 0.01 || p.gbs > 10000 {
+			t.Fatalf("%s bandwidth implausible: %v GB/s", p.name, p.gbs)
+		}
+	}
+	if bw.BestGBs < bw.CopyGBs && bw.BestGBs < bw.ScaleGBs && bw.BestGBs < bw.TriadGBs {
+		t.Fatalf("best %v below all probes", bw.BestGBs)
+	}
+	if bw.BestLabel == "" {
+		t.Fatal("empty best label")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Elements != 8<<20 || o.Rounds != 5 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	// Explicit values survive.
+	o = Options{Elements: 7, Rounds: 3}.withDefaults()
+	if o.Elements != 7 || o.Rounds != 3 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+}
+
+func TestScoringKernelAccounting(t *testing.T) {
+	k := ScoringKernel("fused-rows", 26)
+	if k.BytesPerSample != 8*27 {
+		t.Fatalf("bytes/sample = %v, want %v", k.BytesPerSample, 8*27)
+	}
+	if k.FlopsPerSample != 52 {
+		t.Fatalf("flops/sample = %v, want 52", k.FlopsPerSample)
+	}
+	want := 52.0 / 216.0
+	if got := k.Intensity(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("intensity = %v, want %v", got, want)
+	}
+	if (Kernel{}).Intensity() != 0 {
+		t.Fatal("zero kernel intensity should be 0")
+	}
+}
+
+func TestAssessArithmetic(t *testing.T) {
+	bw := Bandwidth{BestGBs: 20, BestLabel: "triad"}
+	k := ScoringKernel("x", 26)
+	// 6000 samples in 100µs: 6000·216 B / 1e-4 s = 12.96 GB/s.
+	m := Assess(k, 6000, 100_000, bw)
+	if math.Abs(m.GBs-12.96) > 1e-9 {
+		t.Fatalf("achieved GB/s = %v, want 12.96", m.GBs)
+	}
+	if math.Abs(m.PctOfPeak-64.8) > 1e-9 {
+		t.Fatalf("%% of peak = %v, want 64.8", m.PctOfPeak)
+	}
+	if math.Abs(m.GFlops-3.12) > 1e-9 {
+		t.Fatalf("GFLOP/s = %v, want 3.12", m.GFlops)
+	}
+	// Degenerate inputs do not divide by zero.
+	z := Assess(k, 0, 0, bw)
+	if z.GBs != 0 || z.PctOfPeak != 0 {
+		t.Fatalf("degenerate assess nonzero: %+v", z)
+	}
+}
+
+func TestTimeBestOf(t *testing.T) {
+	calls := 0
+	ns := Time(3, func() { calls++ })
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if ns < 0 {
+		t.Fatalf("negative best time %v", ns)
+	}
+	calls = 0
+	Time(0, func() { calls++ })
+	if calls != 5 {
+		t.Fatalf("default rounds ran %d calls, want 5", calls)
+	}
+}
+
+func TestReportRenderAndJSON(t *testing.T) {
+	r := &Report{Bandwidth: MeasureBandwidth(small)}
+	m := r.Add(ScoringKernel("fused-rows", 26), 6000, 80_000)
+	r.Add(ScoringKernel("fused-columnar", 26), 6000, 110_000)
+	if len(r.Kernels) != 2 {
+		t.Fatalf("kernels = %d, want 2", len(r.Kernels))
+	}
+	if m.GBs <= 0 {
+		t.Fatalf("assessed GB/s not positive: %v", m.GBs)
+	}
+
+	txt := r.RenderText()
+	for _, want := range []string{"memory roofline", "triad", "fused-rows", "fused-columnar", "%peak"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, txt)
+		}
+	}
+	// Sorted by achieved bandwidth: the faster path prints first.
+	if strings.Index(txt, "fused-rows") > strings.Index(txt, "fused-columnar") {
+		t.Fatalf("kernels not sorted by achieved bandwidth:\n%s", txt)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Kernels) != 2 || back.Bandwidth.BestGBs != r.Bandwidth.BestGBs {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.Kernels[0].Name != "fused-rows" {
+		t.Fatalf("kernel order not preserved in JSON: %+v", back.Kernels)
+	}
+}

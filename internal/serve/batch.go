@@ -10,6 +10,7 @@ import (
 
 	"specchar/internal/dataset"
 	"specchar/internal/faultinject"
+	"specchar/internal/mtree"
 	"specchar/internal/obs"
 	"specchar/internal/robust"
 )
@@ -253,8 +254,14 @@ func (b *batcher) flush(batch []*scoreJob) {
 }
 
 // score resolves the model now (the hot-swap point), packs every live
-// job's rows into one dataset, runs one PredictDataset call, and
-// scatters the outputs back.
+// job's rows into one batch, scores it, and scatters the outputs back.
+// Wide coalesced batches (ColumnarMin or more samples of uniform width)
+// go through the fused-columnar route: the rows are packed into one
+// contiguous column-major slab, so the kernel streams a single
+// allocation instead of chasing per-request row pointers scattered
+// across the decoder's heap. Fused-columnar scoring is bit-identical to
+// the row path (see internal/mtree/transpose.go), so which route a
+// batch took is unobservable in the predictions.
 func (b *batcher) score(live []*scoreJob) {
 	total := 0
 	for _, j := range live {
@@ -273,13 +280,20 @@ func (b *batcher) score(live []*scoreJob) {
 	span.SetRows(total)
 	defer span.End()
 
-	ds := &dataset.Dataset{Schema: m.Tree.Schema(), Samples: make([]dataset.Sample, 0, total)}
-	for _, j := range live {
-		for _, row := range j.rows {
-			ds.Samples = append(ds.Samples, dataset.Sample{X: row})
+	tree := m.Tree.WithWorkers(b.s.cfg.Workers)
+	preds, err := b.scoreColumnar(ctx, tree, live, total)
+	if preds == nil && err == nil {
+		// Batch below the columnar threshold, or rows of mixed width (a
+		// mid-queue hot-swap to a different schema): the row path scores
+		// what it can and reports width errors inspectably.
+		ds := &dataset.Dataset{Schema: tree.Schema(), Samples: make([]dataset.Sample, 0, total)}
+		for _, j := range live {
+			for _, row := range j.rows {
+				ds.Samples = append(ds.Samples, dataset.Sample{X: row})
+			}
 		}
+		preds, err = tree.PredictDatasetCheckedContext(ctx, ds)
 	}
-	preds, err := m.Tree.WithWorkers(b.s.cfg.Workers).PredictDatasetCheckedContext(ctx, ds)
 	if err != nil {
 		// Width mismatches here mean the model was swapped to an
 		// incompatible schema after the handler validated; each job gets
@@ -297,4 +311,44 @@ func (b *batcher) score(live []*scoreJob) {
 	}
 	b.s.rec.VolatileCounter("specchard_batches_total").Add(1)
 	b.s.rec.Gauge("specchard_last_batch_samples").Set(float64(total))
+}
+
+// scoreColumnar packs the live jobs' rows into one column-major slab
+// and scores it through the fused-columnar route. Returns (nil, nil)
+// when the batch should take the row path instead: below the
+// ColumnarMin threshold, the route disabled, or any row's width
+// disagreeing with the model's schema.
+func (b *batcher) scoreColumnar(ctx context.Context, tree *mtree.CompiledTree, live []*scoreJob, total int) ([]float64, error) {
+	min := b.s.cfg.ColumnarMin
+	if min <= 0 || total < min {
+		return nil, nil
+	}
+	w := tree.NumAttrs()
+	for _, j := range live {
+		for _, row := range j.rows {
+			if len(row) != w {
+				return nil, nil
+			}
+		}
+	}
+	slab := make([]float64, total*w)
+	cols := make([][]float64, w)
+	for a := 0; a < w; a++ {
+		cols[a] = slab[a*total : (a+1)*total : (a+1)*total]
+	}
+	i := 0
+	for _, j := range live {
+		for _, row := range j.rows {
+			for a, v := range row {
+				cols[a][i] = v
+			}
+			i++
+		}
+	}
+	preds, err := tree.PredictColumnsCheckedContext(ctx, cols, total)
+	if err != nil {
+		return nil, err
+	}
+	b.s.rec.VolatileCounter("specchard_columnar_batches_total").Add(1)
+	return preds, nil
 }

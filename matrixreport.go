@@ -1,0 +1,47 @@
+package specchar
+
+import (
+	"strings"
+
+	"specchar/internal/suites"
+	"specchar/internal/transfer"
+)
+
+// MatrixReport runs the cross-generation N×N transfer matrix as a study
+// experiment (`specchar experiments -exp matrix`): every suite
+// generation trains a model on its own 10% split and is assessed
+// against every other generation's full data with the Section VI
+// battery. The CPU2006 column reuses the study's already-generated
+// suite data; its neighbours (CPU2000, CPU2017, CPU2026) are generated
+// at the study's scale with the study's seed, so the report is
+// reproducible from the same Config that produced every other
+// experiment. The standalone `specchar matrix` command remains the
+// full-control entry point (suite selection, artifact rendering).
+func (s *Study) MatrixReport() (string, error) {
+	var zoo []transfer.MatrixSuite
+	for _, gen := range []*suites.Suite{suites.CPU2000(), nil, suites.CPU2017(), suites.CPU2026()} {
+		if gen == nil { // CPU2006's slot in generation order: the study's own data
+			zoo = append(zoo, transfer.MatrixSuite{Name: "SPEC CPU2006", Data: s.CPU})
+			continue
+		}
+		d, err := suites.Generate(gen, s.Config.Gen)
+		if err != nil {
+			return "", err
+		}
+		zoo = append(zoo, transfer.MatrixSuite{Name: gen.Name, Data: d})
+	}
+
+	m, err := transfer.MatrixAssess(zoo, transfer.MatrixOptions{
+		TrainFraction: s.Config.TrainFraction,
+		SplitSeed:     s.Config.SplitSeed,
+		Tree:          s.Config.Tree,
+		Assess:        transfer.Options{},
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("cross-generation transfer matrix (row model → column suite)\n\n")
+	b.WriteString(m.RenderText())
+	return b.String(), nil
+}
